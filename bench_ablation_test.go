@@ -1,0 +1,128 @@
+package clientres
+
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//
+//   - crawler worker-pool sizing (the collection bottleneck),
+//   - the single-pass multi-collector runner vs one pass per collector,
+//   - the naive-backtracking ReDoS engine's step growth with input size
+//     (why a step budget, not wall-clock, is the DoS signal),
+//   - ground-truth collection vs rendering+fingerprinting (why the direct
+//     path exists for large populations).
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"clientres/internal/analysis"
+	"clientres/internal/crawler"
+	"clientres/internal/fingerprint"
+	"clientres/internal/poclab"
+	"clientres/internal/semver"
+	"clientres/internal/webgen"
+	"clientres/internal/webserver"
+)
+
+// BenchmarkAblationCrawlWorkers measures one crawl week under different
+// worker-pool sizes.
+func BenchmarkAblationCrawlWorkers(b *testing.B) {
+	eco := webgen.New(webgen.Config{Domains: 200, Seed: 3})
+	srv := httptest.NewServer(webserver.New(eco))
+	defer srv.Close()
+	domains := make([]string, len(eco.Sites))
+	for i, s := range eco.Sites {
+		domains[i] = s.Domain.Name
+	}
+	for _, workers := range []int{1, 8, 32, 128} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := crawler.New(crawler.Config{BaseURL: srv.URL, Workers: workers})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.CrawlWeek(context.Background(), i%eco.Cfg.Weeks, domains,
+					func(crawler.Page) {}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSinglePass replays the dataset once through all
+// collectors together — the production design.
+func BenchmarkAblationSinglePass(b *testing.B) {
+	obs, weeks := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replay(obs,
+			analysis.NewCollection(weeks),
+			analysis.NewLibraryStats(weeks),
+			analysis.NewVulnPrevalence(weeks),
+			analysis.NewSRI(weeks),
+			analysis.NewFlash(weeks, benchDomains),
+			analysis.NewWordPress(weeks),
+		)
+	}
+}
+
+// BenchmarkAblationMultiPass replays the dataset once per collector — the
+// alternative the runner design avoids.
+func BenchmarkAblationMultiPass(b *testing.B) {
+	obs, weeks := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replay(obs, analysis.NewCollection(weeks))
+		replay(obs, analysis.NewLibraryStats(weeks))
+		replay(obs, analysis.NewVulnPrevalence(weeks))
+		replay(obs, analysis.NewSRI(weeks))
+		replay(obs, analysis.NewFlash(weeks, benchDomains))
+		replay(obs, analysis.NewWordPress(weeks))
+	}
+}
+
+// BenchmarkAblationReDoSInputSize shows the step blow-up of the vulnerable
+// duration pattern with attack-input length — the reason the PoC lab uses a
+// bounded step counter instead of wall-clock time.
+func BenchmarkAblationReDoSInputSize(b *testing.B) {
+	env, err := poclab.NewEnv("moment", semver.MustParse("2.10.6"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, units := range []int{6, 10, 14, 18} {
+		input := ""
+		for i := 0; i < units; i++ {
+			input += "1 "
+		}
+		input += "x"
+		b.Run(fmt.Sprintf("units=%d", units), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env.Moment().ParseDuration(input)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTruthVsCrawlPath compares the per-page cost of the two
+// collection paths: resolving ground truth directly vs rendering the page
+// and fingerprinting it back.
+func BenchmarkAblationTruthVsCrawlPath(b *testing.B) {
+	eco := webgen.New(webgen.Config{Domains: 64, Seed: 3})
+	b.Run("truth", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			site := i % 64
+			_ = analysis.ObservationFromTruth(eco.Sites[site].Domain, eco.Truth(site, i%eco.Cfg.Weeks))
+		}
+	})
+	b.Run("render+fingerprint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			site := i % 64
+			week := i % eco.Cfg.Weeks
+			html, status := eco.PageHTML(site, week)
+			var det fingerprint.Detection
+			if status == 200 {
+				det = fingerprint.Page(html, eco.Sites[site].Domain.Name)
+			}
+			_ = analysis.ObservationFromCrawl(eco.Sites[site].Domain, week, status, html, det)
+		}
+	})
+}

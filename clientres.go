@@ -1,0 +1,248 @@
+// Package clientres reproduces the measurement system of "A Longitudinal
+// Study of Vulnerable Client-side Resources and Web Developers' Updating
+// Behaviors" (IMC 2023): a weekly landing-page crawler, a Wappalyzer-style
+// resource/version fingerprinter, a CVE/TVV vulnerability database, the PoC
+// version-validation experiment, and every analysis of the paper's
+// evaluation — backed by a calibrated synthetic web ecosystem standing in
+// for the unobtainable four-year Alexa-1M crawl (see DESIGN.md).
+//
+// Three entry points cover the common uses:
+//
+//   - Run executes the full study (generate → collect → analyze → validate)
+//     and returns Results whose WriteReport regenerates every table and
+//     figure of the paper.
+//   - AuditPage fingerprints a single HTML document and reports the
+//     vulnerable libraries on it (the Retire.js-style use).
+//   - ValidateCVEs runs the PoC version-validation experiment alone and
+//     reports which CVEs understate or overstate their affected versions.
+package clientres
+
+import (
+	"context"
+	"io"
+
+	"clientres/internal/analysis"
+	"clientres/internal/core"
+	"clientres/internal/fingerprint"
+	"clientres/internal/poclab"
+	"clientres/internal/vulndb"
+	"clientres/internal/webgen"
+)
+
+// Config parameterizes a study run.
+type Config struct {
+	// Domains is the size of the modeled ranked population (default 2000;
+	// the paper used 1M).
+	Domains int
+	// Weeks is the number of weekly snapshots (default 201, the paper's
+	// pruned four-year collection).
+	Weeks int
+	// Seed makes the run deterministic.
+	Seed int64
+	// Crawl switches from direct ground-truth collection to the real
+	// pipeline: a loopback HTTP server, the concurrent crawler, and the
+	// fingerprint engine.
+	Crawl bool
+	// Workers bounds crawl concurrency.
+	Workers int
+	// StorePath, when set, persists observations as gzip JSONL.
+	StorePath string
+	// Progress receives one line per collected week, when set.
+	Progress func(format string, args ...any)
+}
+
+// Results exposes everything a run produced. The embedded collectors carry
+// the full per-week aggregates; WriteReport renders the paper's tables and
+// figures; Headline summarizes the flagship numbers.
+type Results struct {
+	inner *core.Results
+}
+
+// Run executes the study described by cfg.
+func Run(ctx context.Context, cfg Config) (*Results, error) {
+	mode := core.ModeDirect
+	if cfg.Crawl {
+		mode = core.ModeCrawl
+	}
+	inner, err := core.Run(ctx, core.Config{
+		Domains: cfg.Domains, Weeks: cfg.Weeks, Seed: cfg.Seed,
+		Mode: mode, Workers: cfg.Workers,
+		StorePath: cfg.StorePath, Progress: cfg.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Results{inner: inner}, nil
+}
+
+// WriteReport renders every table and figure of the paper's evaluation.
+func (r *Results) WriteReport(w io.Writer) { r.inner.WriteReport(w) }
+
+// Summary carries the paper's headline findings as measured on this run.
+type Summary struct {
+	// MeanCollected is the average number of usable pages per week.
+	MeanCollected float64
+	// VulnerableShareCVE / VulnerableShareTVV are the average shares of
+	// sites carrying ≥1 known vulnerability under the CVE-disclosed and
+	// true vulnerable-version ranges (paper: 41.2 % / 43.2 %).
+	VulnerableShareCVE, VulnerableShareTVV float64
+	// MeanVulnsPerPageCVE / TVV mirror Figure 12 (paper: 0.79 / 0.97).
+	MeanVulnsPerPageCVE, MeanVulnsPerPageTVV float64
+	// UpdateDelayDays is the mean window of vulnerability under CVE ranges
+	// (paper: 531.2); UpdateDelayDaysTVV restricts to understated CVEs
+	// under TVV ranges (paper: 701.2).
+	UpdateDelayDays, UpdateDelayDaysTVV float64
+	// UpdatedSites is the number of closed update windows (paper: 25,337).
+	UpdatedSites int
+	// MissingSRIShare is the share of external-library sites with ≥1
+	// uncovered inclusion (paper: 99.7 %).
+	MissingSRIShare float64
+	// FlashPostEOL is the mean weekly count of Flash sites after Jan 2021
+	// (paper: 3,553 of 1M).
+	FlashPostEOL float64
+	// InsecureFlashShare is the AllowScriptAccess="always" share among
+	// Flash sites (paper: 24.7 %).
+	InsecureFlashShare float64
+	// WordPressShare mirrors Figure 9 (paper: 26.9 %).
+	WordPressShare float64
+	// IncorrectCVEs counts advisories whose PoC-validated range disagrees
+	// with the disclosed range (paper: 13 of 27).
+	IncorrectCVEs, TotalCVEs int
+}
+
+// Headline computes the summary.
+func (r *Results) Headline() Summary {
+	in := r.inner
+	cve := in.Delay.Result(false, false)
+	tvv := in.Delay.Result(true, true)
+	s := Summary{
+		MeanCollected:       in.Coll.MeanCollected(),
+		VulnerableShareCVE:  in.Vuln.MeanVulnerableShare(false),
+		VulnerableShareTVV:  in.Vuln.MeanVulnerableShare(true),
+		MeanVulnsPerPageCVE: in.Vuln.MeanVulnsPerSite(false),
+		MeanVulnsPerPageTVV: in.Vuln.MeanVulnsPerSite(true),
+		UpdateDelayDays:     cve.MeanDays,
+		UpdateDelayDaysTVV:  tvv.MeanDays,
+		UpdatedSites:        cve.Updated,
+		MissingSRIShare:     in.SRI.MissingSRIShare(),
+		FlashPostEOL:        in.Flash.MeanPostEOL(),
+		InsecureFlashShare:  in.Flash.MeanInsecureShare(),
+		WordPressShare:      in.WordPress.MeanShare(),
+		TotalCVEs:           len(in.Findings),
+	}
+	for _, f := range in.Findings {
+		if f.Accuracy != vulndb.Accurate {
+			s.IncorrectCVEs++
+		}
+	}
+	return s
+}
+
+// Collectors exposes the underlying analysis collectors for advanced use
+// within this module.
+func (r *Results) Collectors() *core.Results { return r.inner }
+
+// AuditFinding is one vulnerable library found on an audited page.
+type AuditFinding struct {
+	Library    string // canonical slug
+	Version    string // detected version ("" when the URL carries none)
+	Advisory   string // CVE or advisory ID
+	Attack     string
+	FixedIn    string // patched version ("" when unpatched)
+	Disclosed  string // YYYY-MM-DD
+	PerCVEOnly bool   // true when only the (possibly inaccurate) CVE range matches, not the validated TVV
+}
+
+// AuditReport is the result of auditing one page.
+type AuditReport struct {
+	// Libraries lists every detected library inclusion (slug@version).
+	Libraries []string
+	// Findings lists the matched vulnerabilities under the validated
+	// (TVV) ranges, plus CVE-range-only matches flagged PerCVEOnly.
+	Findings []AuditFinding
+	// MissingSRI counts external inclusions without an integrity
+	// attribute; UsesFlash flags Flash embeds; InsecureFlash flags
+	// AllowScriptAccess="always".
+	MissingSRI    int
+	UsesFlash     bool
+	InsecureFlash bool
+}
+
+// AuditPage fingerprints one HTML document fetched from pageHost and
+// reports vulnerable libraries and hygiene problems — the single-page
+// scanner the paper's methodology implies.
+func AuditPage(html, pageHost string) AuditReport {
+	det := fingerprint.Page(html, pageHost)
+	var rep AuditReport
+	for _, hit := range det.Libraries {
+		label := hit.Slug
+		if !hit.Version.IsZero() {
+			label += "@" + hit.Version.String()
+		}
+		rep.Libraries = append(rep.Libraries, label)
+		if hit.External && !hit.SRI {
+			rep.MissingSRI++
+		}
+		if !hit.Known || hit.Version.IsZero() {
+			continue
+		}
+		for _, adv := range vulndb.AdvisoriesFor(hit.Slug) {
+			inTVV := adv.EffectiveTrueRange().Contains(hit.Version)
+			inCVE := adv.CVERange.Contains(hit.Version)
+			if !inTVV && !inCVE {
+				continue
+			}
+			finding := AuditFinding{
+				Library: hit.Slug, Version: hit.Version.String(),
+				Advisory: adv.ID, Attack: string(adv.Attack),
+				Disclosed:  adv.Disclosed.Format("2006-01-02"),
+				PerCVEOnly: inCVE && !inTVV,
+			}
+			if !adv.Patched.IsZero() {
+				finding.FixedIn = adv.Patched.String()
+			}
+			rep.Findings = append(rep.Findings, finding)
+		}
+	}
+	if det.Flash != nil {
+		rep.UsesFlash = true
+		rep.InsecureFlash = det.Flash.Always
+	}
+	return rep
+}
+
+// CVEFinding is one row of the version-validation experiment.
+type CVEFinding struct {
+	Advisory  string
+	Library   string
+	CVERange  string
+	TrueRange string
+	Accuracy  string // accurate | understated | overstated | mixed
+}
+
+// ValidateCVEs runs the PoC version-validation experiment (Section 6.4)
+// and reports each advisory's accuracy classification.
+func ValidateCVEs() ([]CVEFinding, error) {
+	findings, err := poclab.RunAll()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CVEFinding, len(findings))
+	for i, f := range findings {
+		out[i] = CVEFinding{
+			Advisory:  f.Advisory.ID,
+			Library:   f.Advisory.Lib,
+			CVERange:  f.Advisory.CVERange.String(),
+			TrueRange: f.TVV.String(),
+			Accuracy:  f.Accuracy.String(),
+		}
+	}
+	return out, nil
+}
+
+// StudyWeeks is the paper's snapshot count (201 weekly snapshots,
+// Mar 2018 – Feb 2022).
+const StudyWeeks = webgen.StudyWeeks
+
+// WeekDate returns the calendar date of snapshot week w.
+var WeekDate = analysis.WeekDate

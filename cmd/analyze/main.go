@@ -1,0 +1,32 @@
+// Command analyze replays a stored observation dataset through every
+// analysis of the paper and prints the full table/figure report.
+//
+// Usage:
+//
+//	analyze -in observations.jsonl.gz -weeks 201 -domains 20000
+package main
+
+import (
+	"bufio"
+	"flag"
+	"log"
+	"os"
+
+	"clientres/internal/core"
+	"clientres/internal/webgen"
+)
+
+func main() {
+	in := flag.String("in", "observations.jsonl.gz", "input observation file")
+	weeks := flag.Int("weeks", webgen.StudyWeeks, "snapshot weeks in the dataset")
+	domains := flag.Int("domains", 20000, "ranked population size of the dataset")
+	flag.Parse()
+
+	res, err := core.RunFromStore(*in, *weeks, *domains)
+	if err != nil {
+		log.Fatalf("analyze: %v", err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	res.WriteReport(w)
+}

@@ -1,0 +1,46 @@
+// Command crawl runs the study's real collection pipeline: it serves the
+// synthetic web on a loopback HTTP listener, crawls every domain every
+// snapshot week with the concurrent crawler, fingerprints each landing
+// page, and stores the resulting observations.
+//
+// Usage:
+//
+//	crawl -domains 2000 -weeks 50 -workers 64 -out crawl.jsonl.gz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"clientres/internal/core"
+	"clientres/internal/webgen"
+)
+
+func main() {
+	domains := flag.Int("domains", 2000, "number of ranked domains to model")
+	weeks := flag.Int("weeks", webgen.StudyWeeks, "number of weekly snapshots")
+	seed := flag.Int64("seed", 1, "generation seed")
+	workers := flag.Int("workers", 64, "concurrent crawler workers")
+	out := flag.String("out", "crawl.jsonl.gz", "output path (gzip JSONL)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := core.Config{
+		Domains: *domains, Weeks: *weeks, Seed: *seed,
+		Mode: core.ModeCrawl, Workers: *workers,
+		StorePath: *out, SkipPoC: true,
+		Progress: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if _, err := core.Run(ctx, cfg); err != nil {
+		log.Fatalf("crawl: %v", err)
+	}
+	fmt.Printf("crawled %d domains x %d weeks into %s\n", *domains, *weeks, *out)
+}

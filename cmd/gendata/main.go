@@ -1,0 +1,42 @@
+// Command gendata generates a synthetic-web observation dataset — the
+// offline stand-in for the paper's four-year Alexa-1M crawl — and writes it
+// as gzip JSONL for cmd/analyze.
+//
+// Usage:
+//
+//	gendata -domains 20000 -weeks 201 -seed 1 -out observations.jsonl.gz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"clientres/internal/core"
+	"clientres/internal/webgen"
+)
+
+func main() {
+	domains := flag.Int("domains", 20000, "number of ranked domains to model")
+	weeks := flag.Int("weeks", webgen.StudyWeeks, "number of weekly snapshots")
+	seed := flag.Int64("seed", 1, "generation seed")
+	out := flag.String("out", "observations.jsonl.gz", "output path (gzip JSONL)")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	cfg := core.Config{
+		Domains: *domains, Weeks: *weeks, Seed: *seed,
+		StorePath: *out, SkipPoC: true,
+	}
+	if !*quiet {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if _, err := core.Run(context.Background(), cfg); err != nil {
+		log.Fatalf("gendata: %v", err)
+	}
+	fmt.Printf("wrote %d domains x %d weeks to %s\n", *domains, *weeks, *out)
+}

@@ -1,0 +1,56 @@
+// Command vvexp runs the Version Validation Experiment of Section 6.4: it
+// sets up an emulated environment per catalogued library version, runs each
+// advisory's proof of concept in every environment, and reports the
+// computed True Vulnerable Versions against the CVE-disclosed ranges
+// (Table 2's accuracy marks, Figure 4, Figure 13).
+//
+// Usage:
+//
+//	vvexp            # all advisories
+//	vvexp CVE-2020-7656
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"clientres/internal/poclab"
+	"clientres/internal/report"
+)
+
+func main() {
+	flag.Parse()
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	var findings []poclab.Finding
+	if id := flag.Arg(0); id != "" {
+		f, err := poclab.Run(id)
+		if err != nil {
+			log.Fatalf("vvexp: %v", err)
+		}
+		findings = []poclab.Finding{f}
+	} else {
+		var err error
+		findings, err = poclab.RunAll()
+		if err != nil {
+			log.Fatalf("vvexp: %v", err)
+		}
+	}
+
+	report.Table2(w, findings, nil)
+	report.Figure4(w, findings, "jquery", "Figure 4: jQuery disclosed vs true vulnerable versions")
+	report.Figure13(w, findings)
+
+	incorrect := 0
+	for _, f := range findings {
+		if f.Accuracy.String() != "accurate" && f.Accuracy.String() != "unvalidated" {
+			incorrect++
+		}
+	}
+	fmt.Fprintf(w, "\n%d of %d advisories state incorrect versions (paper: 13 of 27)\n",
+		incorrect, len(findings))
+}

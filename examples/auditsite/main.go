@@ -1,0 +1,78 @@
+// Auditsite: the Retire.js-style single-page scanner built on the study's
+// fingerprint engine and CVE/TVV database. Give it an HTML file (or run it
+// without arguments to audit a built-in sample) and it reports every
+// detected library, the vulnerabilities matching the detected versions —
+// under the *validated* true-vulnerable-version ranges, flagging matches
+// that exist only under the inaccurate CVE-disclosed ranges — plus SRI and
+// Flash hygiene problems.
+//
+//	go run ./examples/auditsite [page.html [host]]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"clientres"
+)
+
+// sample is a page exhibiting the paper's headline problems: the dominant
+// outdated jQuery, an old Bootstrap, a missing-integrity CDN include, and a
+// leftover Flash embed with AllowScriptAccess=always.
+const sample = `<!DOCTYPE html>
+<html><head>
+<meta name="generator" content="WordPress 5.4">
+<script src="/wp-includes/js/jquery/jquery.min.js?ver=1.12.4"></script>
+<script src="https://maxcdn.bootstrapcdn.com/bootstrap/3.3.7/js/bootstrap.min.js"></script>
+<script src="https://cdnjs.cloudflare.com/ajax/libs/moment/2.10.6/moment.min.js"></script>
+</head><body>
+<embed src="/media/banner.swf" allowscriptaccess="always" type="application/x-shockwave-flash">
+</body></html>`
+
+func main() {
+	html, host := sample, "example.com"
+	if len(os.Args) > 1 {
+		data, err := os.ReadFile(os.Args[1])
+		if err != nil {
+			log.Fatalf("auditsite: %v", err)
+		}
+		html = string(data)
+	}
+	if len(os.Args) > 2 {
+		host = os.Args[2]
+	}
+
+	rep := clientres.AuditPage(html, host)
+	fmt.Printf("detected libraries (%d):\n", len(rep.Libraries))
+	for _, lib := range rep.Libraries {
+		fmt.Printf("  - %s\n", lib)
+	}
+	if len(rep.Findings) == 0 {
+		fmt.Println("no known vulnerabilities match the detected versions")
+	} else {
+		fmt.Printf("\nvulnerabilities (%d):\n", len(rep.Findings))
+		for _, f := range rep.Findings {
+			fix := "no fixed version"
+			if f.FixedIn != "" {
+				fix = "fixed in " + f.FixedIn
+			}
+			note := ""
+			if f.PerCVEOnly {
+				note = "  [matches the CVE's disclosed range only — the validated range says NOT vulnerable]"
+			}
+			fmt.Printf("  - %s@%s: %s (%s, disclosed %s, %s)%s\n",
+				f.Library, f.Version, f.Advisory, f.Attack, f.Disclosed, fix, note)
+		}
+	}
+	fmt.Println()
+	if rep.MissingSRI > 0 {
+		fmt.Printf("hygiene: %d external script(s) without an integrity attribute\n", rep.MissingSRI)
+	}
+	if rep.UsesFlash {
+		fmt.Println("hygiene: page embeds Adobe Flash (end-of-life since Jan 2021)")
+		if rep.InsecureFlash {
+			fmt.Println("hygiene: AllowScriptAccess is 'always' — cross-origin .swf can script this page")
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module clientres
+
+go 1.22

@@ -1,0 +1,112 @@
+// Package analysis implements every measurement of the paper's evaluation
+// (Sections 5–8) over a stream of crawl observations.
+//
+// The unit of input is a store.Observation — one (domain, week) fetch
+// reduced to facts. Collectors accumulate aggregates keyed by week and need
+// no particular arrival order, so the same code runs over a live crawl, a
+// stored dataset, or ground truth. A Runner fans one stream out to many
+// collectors in a single pass; memory stays proportional to the aggregates,
+// never the dataset.
+package analysis
+
+import (
+	"time"
+
+	"clientres/internal/semver"
+	"clientres/internal/store"
+	"clientres/internal/webgen"
+)
+
+// Collector consumes observations and accumulates one experiment's
+// aggregates.
+type Collector interface {
+	// Name identifies the collector in reports.
+	Name() string
+	// Observe folds one observation into the aggregates. Implementations
+	// must accept observations in any order.
+	Observe(obs store.Observation)
+}
+
+// Runner fans an observation stream out to a set of collectors.
+type Runner struct {
+	collectors []Collector
+}
+
+// NewRunner builds a Runner over the given collectors.
+func NewRunner(collectors ...Collector) *Runner {
+	return &Runner{collectors: collectors}
+}
+
+// Observe distributes one observation to every collector.
+func (r *Runner) Observe(obs store.Observation) {
+	for _, c := range r.collectors {
+		c.Observe(obs)
+	}
+}
+
+// Collectors returns the runner's collectors.
+func (r *Runner) Collectors() []Collector { return r.collectors }
+
+// WeekDate re-exports the study calendar so downstream consumers need not
+// import webgen.
+func WeekDate(w int) time.Time { return webgen.WeekDate(w) }
+
+// parseVersion parses a stored version string, returning ok=false for
+// missing/unparseable versions.
+func parseVersion(s string) (semver.Version, bool) {
+	if s == "" {
+		return semver.Version{}, false
+	}
+	v, err := semver.Parse(s)
+	if err != nil {
+		return semver.Version{}, false
+	}
+	return v, true
+}
+
+// weekSeries is a dense per-week int series.
+type weekSeries struct {
+	counts map[int]int
+}
+
+func newWeekSeries() *weekSeries { return &weekSeries{counts: map[int]int{}} }
+
+func (s *weekSeries) add(week, n int) { s.counts[week] += n }
+
+// Series materializes weeks [0, weeks) as a slice.
+func (s *weekSeries) Series(weeks int) []int {
+	out := make([]int, weeks)
+	for w, n := range s.counts {
+		if w >= 0 && w < weeks {
+			out[w] = n
+		}
+	}
+	return out
+}
+
+// Mean returns the average over the weeks that have any observation in ref
+// (a denominators series); weeks with a zero denominator are skipped.
+func meanRatio(num, den []int) float64 {
+	sum, n := 0.0, 0
+	for i := range num {
+		if i < len(den) && den[i] > 0 {
+			sum += float64(num[i]) / float64(den[i])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func meanInt(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}

@@ -1,0 +1,418 @@
+package analysis
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"clientres/internal/webgen"
+)
+
+// shared pipeline run over a moderate synthetic population; built once.
+var (
+	once sync.Once
+
+	eco   *webgen.Ecosystem
+	coll  *Collection
+	libs  *LibraryStats
+	vuln  *VulnPrevalence
+	delay *UpdateDelay
+	sri   *SRI
+	flash *Flash
+	wp    *WordPress
+	disc  *Discontinued
+	regr  *Regressions
+)
+
+func pipeline(t *testing.T) {
+	t.Helper()
+	once.Do(func() {
+		eco = webgen.New(webgen.Config{Domains: 8000, Seed: 17})
+		weeks := eco.Cfg.Weeks
+		coll = NewCollection(weeks)
+		libs = NewLibraryStats(weeks)
+		vuln = NewVulnPrevalence(weeks)
+		delay = NewUpdateDelay(weeks)
+		sri = NewSRI(weeks)
+		flash = NewFlash(weeks, eco.Cfg.Domains)
+		wp = NewWordPress(weeks)
+		disc = NewDiscontinued(weeks)
+		regr = NewRegressions(weeks)
+		r := NewRunner(coll, libs, vuln, delay, sri, flash, wp, disc, regr)
+		TruthSource{Eco: eco}.Run(r)
+	})
+}
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if got < want-tol || got > want+tol {
+		t.Errorf("%s = %.4f, want %.4f ± %.4f", name, got, want, tol)
+	}
+}
+
+func TestCollectionRate(t *testing.T) {
+	pipeline(t)
+	mean := coll.MeanCollected()
+	frac := mean / float64(eco.Cfg.Domains)
+	// Paper: 782,300 of 1M collected weekly on average (78.2 %).
+	within(t, "collected share", frac, 0.782, 0.06)
+	series := coll.CollectedSeries()
+	if len(series) != eco.Cfg.Weeks {
+		t.Fatalf("series length %d", len(series))
+	}
+	// Collection declines over time as domains die.
+	if series[len(series)-1] >= series[0] {
+		t.Errorf("collection should decline: first %d last %d", series[0], series[len(series)-1])
+	}
+}
+
+func TestResourceShares(t *testing.T) {
+	pipeline(t)
+	shares := map[string]float64{}
+	for _, rs := range coll.ResourceShares() {
+		shares[rs.Resource] = rs.Mean
+	}
+	within(t, "JavaScript", shares["JavaScript"], 0.947, 0.03)
+	within(t, "CSS", shares["CSS"], 0.884, 0.03)
+	within(t, "Favicon", shares["Favicon"], 0.550, 0.03)
+	within(t, "imported-HTML", shares["imported-HTML"], 0.318, 0.03)
+	within(t, "XML", shares["XML"], 0.256, 0.03)
+	if shares["Flash"] > 0.024 || shares["Flash"] <= 0 {
+		t.Errorf("Flash share = %.4f, want small positive", shares["Flash"])
+	}
+}
+
+func TestTable1(t *testing.T) {
+	pipeline(t)
+	rows := libs.Table1()
+	if len(rows) != 15 {
+		t.Fatalf("Table 1 rows = %d", len(rows))
+	}
+	byslug := map[string]Table1Row{}
+	for _, r := range rows {
+		byslug[r.Slug] = r
+	}
+	within(t, "jquery usage", byslug["jquery"].MeanUsage, 0.640, 0.05)
+	within(t, "bootstrap usage", byslug["bootstrap"].MeanUsage, 0.215, 0.04)
+	within(t, "jquery-migrate usage", byslug["jquery-migrate"].MeanUsage, 0.208, 0.05)
+	within(t, "jquery internal", byslug["jquery"].InternalPct, 0.592, 0.06)
+	within(t, "jquery CDN", byslug["jquery"].CDNPct, 0.961, 0.04)
+	within(t, "polyfill external", byslug["polyfill"].ExternalPct, 0.855, 0.08)
+	if byslug["jquery"].Dominant != "1.12.4" {
+		t.Errorf("jquery dominant = %q, want 1.12.4", byslug["jquery"].Dominant)
+	}
+	if byslug["bootstrap"].Dominant != "3.3.7" {
+		t.Errorf("bootstrap dominant = %q, want 3.3.7", byslug["bootstrap"].Dominant)
+	}
+	if byslug["jquery"].VulnCount != 8 || byslug["bootstrap"].VulnCount != 7 {
+		t.Error("vulnerability counts wrong")
+	}
+	if byslug["jquery"].VersionsFound < 40 {
+		t.Errorf("jquery versions found = %d, want many", byslug["jquery"].VersionsFound)
+	}
+	if !byslug["swfobject"].Discontinued || !byslug["jquery-cookie"].Discontinued {
+		t.Error("discontinued flags missing")
+	}
+}
+
+func TestDistinctLibraries(t *testing.T) {
+	pipeline(t)
+	// Top 15 + the long tail ≈ the paper's 79 distinct libraries.
+	n := libs.DistinctLibraries()
+	if n < 60 || n > 85 {
+		t.Errorf("distinct libraries = %d, want ~79", n)
+	}
+	within(t, "lib share of JS sites", libs.LibShareOfJSSites(), 0.97, 0.04)
+}
+
+func TestUsageTrends(t *testing.T) {
+	pipeline(t)
+	jq := libs.UsageSeries("jquery")
+	// jQuery declines from ~67 % to ~63 % (Figure 3a).
+	if jq[0] <= jq[len(jq)-1] {
+		t.Errorf("jquery usage should decline: %.3f -> %.3f", jq[0], jq[len(jq)-1])
+	}
+	// Rising libraries rise (Figure 3b).
+	for _, slug := range []string{"js-cookie", "popper", "polyfill"} {
+		s := libs.UsageSeries(slug)
+		if s[len(s)-1] <= s[0] {
+			t.Errorf("%s usage should rise: %.4f -> %.4f", slug, s[0], s[len(s)-1])
+		}
+	}
+	// The jQuery-Migrate drop window (Figure 3a).
+	mig := libs.UsageSeries("jquery-migrate")
+	before := mig[weekOfDate(time.Date(2020, 7, 6, 0, 0, 0, 0, time.UTC))]
+	during := mig[weekOfDate(time.Date(2020, 11, 2, 0, 0, 0, 0, time.UTC))]
+	if before-during < 0.04 {
+		t.Errorf("migrate drop %.3f -> %.3f too small", before, during)
+	}
+}
+
+func TestVulnerablePrevalence(t *testing.T) {
+	pipeline(t)
+	cve := vuln.MeanVulnerableShare(false)
+	tvv := vuln.MeanVulnerableShare(true)
+	// Paper: 41.2 % (CVE) and 43.2 % (TVV). Our synthetic population runs
+	// higher (~0.58/0.64) because it honours Table 1's dominant-old-version
+	// distribution, which the paper's own per-CVE affected shares sit in
+	// tension with. The shape constraints (TVV > CVE by a few points, same
+	// order of magnitude) are the reproduction targets; EXPERIMENTS.md
+	// records paper-vs-measured.
+	within(t, "vulnerable share (CVE)", cve, 0.55, 0.12)
+	within(t, "vulnerable share (TVV)", tvv, 0.60, 0.12)
+	if tvv <= cve {
+		t.Errorf("TVV share (%.3f) must exceed CVE share (%.3f)", tvv, cve)
+	}
+	// Mean vulnerabilities per page: paper reports 0.79 vs 0.97, though
+	// its own per-CVE site counts imply more overlap; we assert the
+	// ordering and a plausible band.
+	mCVE := vuln.MeanVulnsPerSite(false)
+	mTVV := vuln.MeanVulnsPerSite(true)
+	if mCVE < 0.5 || mCVE > 2.3 {
+		t.Errorf("mean vulns (CVE) = %.2f, want within [0.5, 2.3]", mCVE)
+	}
+	if mTVV <= mCVE {
+		t.Error("TVV mean must exceed CVE mean")
+	}
+	if mTVV > mCVE*1.6 {
+		t.Errorf("TVV mean (%.2f) implausibly far above CVE mean (%.2f)", mTVV, mCVE)
+	}
+}
+
+func TestVulnCDFMonotone(t *testing.T) {
+	pipeline(t)
+	for _, useTVV := range []bool{false, true} {
+		cdf := vuln.VulnCDF(useTVV)
+		if len(cdf) == 0 {
+			t.Fatal("empty CDF")
+		}
+		prev := 0.0
+		for _, p := range cdf {
+			if p.CDF < prev || p.CDF > 1.0001 {
+				t.Fatalf("CDF not monotone in [0,1]: %+v", cdf)
+			}
+			prev = p.CDF
+		}
+		if cdf[len(cdf)-1].CDF < 0.9999 {
+			t.Errorf("CDF must end at 1, got %.4f", cdf[len(cdf)-1].CDF)
+		}
+	}
+}
+
+func TestAdvisorySeries(t *testing.T) {
+	pipeline(t)
+	// CVE-2020-7656 (Figure 5a): TVV counts far exceed CVE counts.
+	cve, tvv := vuln.AdvisorySeries("CVE-2020-7656")
+	wLate := weekOfDate(time.Date(2021, 6, 7, 0, 0, 0, 0, time.UTC))
+	if tvv[wLate] <= cve[wLate]*2 {
+		t.Errorf("7656 TVV (%d) should dwarf CVE (%d)", tvv[wLate], cve[wLate])
+	}
+	// CVE-2020-11022 (Figure 5c): overstated — CVE counts exceed TVV.
+	cve2, tvv2 := vuln.AdvisorySeries("CVE-2020-11022")
+	if cve2[wLate] <= tvv2[wLate] {
+		t.Errorf("11022 CVE (%d) should exceed TVV (%d)", cve2[wLate], tvv2[wLate])
+	}
+	// Before disclosure, both are zero.
+	if cve[0] != 0 || tvv[0] != 0 {
+		t.Error("advisory counted before disclosure")
+	}
+}
+
+func TestVersionTrends(t *testing.T) {
+	pipeline(t)
+	// Figure 7a: 3.5.1 jumps around Dec 2020; 1.12.4 declines after.
+	s351 := libs.VersionSeries("jquery", "3.5.1")
+	s1124 := libs.VersionSeries("jquery", "1.12.4")
+	wNov := weekOfDate(time.Date(2020, 11, 2, 0, 0, 0, 0, time.UTC))
+	wMar := weekOfDate(time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC))
+	if s351[wMar] <= s351[wNov]*2 {
+		t.Errorf("3.5.1 jump missing: %d -> %d", s351[wNov], s351[wMar])
+	}
+	if s1124[wMar] >= s1124[wNov] {
+		t.Errorf("1.12.4 should fall: %d -> %d", s1124[wNov], s1124[wMar])
+	}
+	// Figure 7b: the jump is WordPress-driven.
+	wp351 := libs.VersionSeriesWordPress("jquery", "3.5.1")
+	if wp351[wMar] < (s351[wMar]-s351[wNov])/2 {
+		t.Errorf("WordPress should drive the 3.5.1 jump: wp %d total-jump %d",
+			wp351[wMar], s351[wMar]-s351[wNov])
+	}
+	// Figure 6: top affected versions of CVE-2020-7656 exist and 1.9.0
+	// adoption does not spike after disclosure.
+	top := libs.TopVersions("jquery", 5)
+	if len(top) != 5 {
+		t.Fatalf("top versions = %v", top)
+	}
+}
+
+func TestUpdateDelays(t *testing.T) {
+	pipeline(t)
+	resCVE := delay.Result(false, false)
+	if resCVE.Updated == 0 {
+		t.Fatal("no closed windows measured")
+	}
+	// Paper: 531.2 days on average under CVE ranges. The shape matters
+	// more than the absolute, but we calibrate to land in the region.
+	within(t, "mean delay (CVE)", resCVE.MeanDays, 531, 200)
+	// Understated advisories under TVV ranges: 701.2 days — strictly worse.
+	resTVVUnder := delay.Result(true, true)
+	resCVEUnder := delay.Result(false, true)
+	if resTVVUnder.Updated == 0 {
+		t.Fatal("no TVV windows measured")
+	}
+	if resTVVUnder.MeanDays <= resCVEUnder.MeanDays {
+		t.Errorf("TVV delay (%.1f) must exceed CVE delay (%.1f) for understated CVEs",
+			resTVVUnder.MeanDays, resCVEUnder.MeanDays)
+	}
+	if resCVE.Censored == 0 {
+		t.Error("some windows must remain open (frozen sites)")
+	}
+}
+
+func TestSRIFindings(t *testing.T) {
+	pipeline(t)
+	within(t, "missing SRI share", sri.MissingSRIShare(), 0.997, 0.02)
+	co := sri.CrossoriginShares()
+	// Paper: 97.1 % anonymous, 1.9 % use-credentials. SRI itself is so
+	// rare that at this population size the use-credentials tail may have
+	// zero samples; assert anonymous dominance and the tail's bound.
+	if co["anonymous"] < 0.85 {
+		t.Errorf("anonymous share = %.4f, want ≥ 0.85 (~0.971)", co["anonymous"])
+	}
+	if co["use-credentials"] > 0.08 {
+		t.Errorf("use-credentials share = %.4f, want ≤ 0.08 (~0.019)", co["use-credentials"])
+	}
+	if sri.MeanVCSites() <= 0 {
+		t.Error("no version-control-hosted inclusions observed")
+	}
+	if share := sri.VCWithSRIShare(); share > 0.10 {
+		t.Errorf("VC-with-SRI share = %.4f, want near the paper's 0.006", share)
+	}
+	hosts := sri.TopVCHosts(5)
+	if len(hosts) == 0 {
+		t.Fatal("no VC hosts")
+	}
+	sites := sri.TopVCSites(10)
+	if len(sites) == 0 {
+		t.Fatal("no VC sites")
+	}
+	for i := 1; i < len(sites); i++ {
+		if sites[i].Rank < sites[i-1].Rank {
+			t.Error("VC sites not rank-sorted")
+		}
+	}
+}
+
+func TestFlashFindings(t *testing.T) {
+	pipeline(t)
+	all, top10k, top1k := flash.UsageSeries()
+	if all[0] == 0 {
+		t.Fatal("no Flash sites at start")
+	}
+	endRatio := float64(all[len(all)-1]) / float64(all[0])
+	if endRatio < 0.18 || endRatio > 0.55 {
+		t.Errorf("Flash end ratio = %.2f, want ~0.32", endRatio)
+	}
+	for w := range all {
+		if top1k[w] > top10k[w] || top10k[w] > all[w] {
+			t.Fatal("band nesting violated")
+		}
+	}
+	if flash.MeanPostEOL() <= 0 {
+		t.Error("post-EOL Flash usage should be positive")
+	}
+	within(t, "insecure AllowScriptAccess share", flash.MeanInsecureShare(), 0.247, 0.09)
+	early := flash.InsecureShareAt(4)
+	late := flash.InsecureShareAt(eco.Cfg.Weeks - 4)
+	if late <= early {
+		t.Errorf("insecure share should rise: %.3f -> %.3f", early, late)
+	}
+	countries := flash.PostEOLCountries()
+	if len(countries) == 0 {
+		t.Fatal("no post-EOL countries")
+	}
+	// China leads the holdouts (the paper's case study).
+	if countries[0].Country != "CN" && countries[1].Country != "CN" {
+		t.Errorf("CN should lead post-EOL holdouts: %+v", countries[:2])
+	}
+}
+
+func TestFlashHoldoutCaseStudy(t *testing.T) {
+	pipeline(t)
+	holdouts := flash.TopBandHoldouts()
+	for i := 1; i < len(holdouts); i++ {
+		if holdouts[i].Rank < holdouts[i-1].Rank {
+			t.Fatal("holdouts not rank-sorted")
+		}
+	}
+	for _, h := range holdouts {
+		if h.Rank > eco.Cfg.Domains/10 {
+			t.Errorf("holdout %s rank %d outside the case-study band", h.Domain, h.Rank)
+		}
+	}
+	v, inv := flash.HoldoutVisibility()
+	if v+inv != len(holdouts) {
+		t.Errorf("visibility split %d+%d != %d holdouts", v, inv, len(holdouts))
+	}
+	// The paper found a near-even visible/invisible split (6 vs 7); with
+	// swfobject-driven embeds always visible, visible should not vanish.
+	if len(holdouts) > 3 && (v == 0 || inv == 0) {
+		t.Errorf("expected both visible and invisible holdouts, got %d vs %d", v, inv)
+	}
+}
+
+func TestWordPressFindings(t *testing.T) {
+	pipeline(t)
+	within(t, "WordPress share", wp.MeanShare(), 0.269, 0.04)
+	rows := wp.Table4()
+	if len(rows) != 10 {
+		t.Fatalf("Table 4 rows = %d", len(rows))
+	}
+	byID := map[string]Table4Row{}
+	for _, r := range rows {
+		byID[r.Advisory.ID] = r
+	}
+	// Recent CVEs hit most WP sites; ancient ones nearly none (the paper's
+	// 97.7 % vs 0.36 % contrast). CVE-2021-44223 is the newest advisory
+	// with in-study exposure (the Jan 2022 batch lands on the study's very
+	// last snapshot).
+	recent := byID["CVE-2021-44223"].MeanAffected
+	ancient := byID["CVE-2009-2853"].MeanAffected
+	if recent <= ancient*10 || recent == 0 {
+		t.Errorf("recent CVE (%.1f) should dwarf ancient (%.1f)", recent, ancient)
+	}
+	wpSites := float64(wp.DistinctVersions())
+	if wpSites < 10 {
+		t.Errorf("distinct WP versions = %.0f, want a spread", wpSites)
+	}
+}
+
+func TestDiscontinuedFindings(t *testing.T) {
+	pipeline(t)
+	if disc.MeanUsage("swfobject") <= 0 || disc.MeanUsage("jquery-cookie") <= 0 {
+		t.Error("discontinued library usage should be positive")
+	}
+	ever, migrated := disc.MigrationStats()
+	if ever == 0 {
+		t.Fatal("no jquery-cookie users")
+	}
+	if migrated == 0 || migrated >= ever {
+		t.Errorf("migration stats implausible: %d of %d", migrated, ever)
+	}
+}
+
+func TestMeanAffectedTable2Shape(t *testing.T) {
+	pipeline(t)
+	// CVE-2020-11023 affects far more sites than CVE-2014-6071 under CVE
+	// ranges (Table 2's 56.2 % vs 2.1 %).
+	big := vuln.MeanAffected("CVE-2020-11023", false)
+	small := vuln.MeanAffected("CVE-2014-6071", false)
+	if big <= small*5 {
+		t.Errorf("11023 (%.1f) should dwarf 6071 (%.1f)", big, small)
+	}
+	// 6071 under TVV is much larger than under CVE (42.9 % vs 2.1 %).
+	smallTVV := vuln.MeanAffected("CVE-2014-6071", true)
+	if smallTVV <= small*3 {
+		t.Errorf("6071 TVV (%.1f) should dwarf CVE (%.1f)", smallTVV, small)
+	}
+}

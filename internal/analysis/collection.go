@@ -1,0 +1,94 @@
+package analysis
+
+import "clientres/internal/store"
+
+// Collection measures the dataset itself: how many domains answered with a
+// usable landing page each week (Figure 2a) and which resource types those
+// pages used (Figure 2b).
+type Collection struct {
+	weeks     int
+	attempted *weekSeries
+	collected *weekSeries
+
+	js, css, favicon, imported, xml, svg, flash, axd *weekSeries
+}
+
+// NewCollection builds the collector for a study of the given week count.
+func NewCollection(weeks int) *Collection {
+	return &Collection{
+		weeks:     weeks,
+		attempted: newWeekSeries(), collected: newWeekSeries(),
+		js: newWeekSeries(), css: newWeekSeries(), favicon: newWeekSeries(),
+		imported: newWeekSeries(), xml: newWeekSeries(), svg: newWeekSeries(),
+		flash: newWeekSeries(), axd: newWeekSeries(),
+	}
+}
+
+// Name implements Collector.
+func (c *Collection) Name() string { return "collection" }
+
+// Observe implements Collector.
+func (c *Collection) Observe(obs store.Observation) {
+	c.attempted.add(obs.Week, 1)
+	if !obs.OK() {
+		return
+	}
+	c.collected.add(obs.Week, 1)
+	r := obs.Resources
+	mark := func(s *weekSeries, on bool) {
+		if on {
+			s.add(obs.Week, 1)
+		}
+	}
+	mark(c.js, r.JavaScript)
+	mark(c.css, r.CSS)
+	mark(c.favicon, r.Favicon)
+	mark(c.imported, r.ImportedHTML)
+	mark(c.xml, r.XML)
+	mark(c.svg, r.SVG)
+	mark(c.flash, r.Flash)
+	mark(c.axd, r.AXD)
+}
+
+// CollectedSeries returns the weekly count of usable pages (Figure 2a).
+func (c *Collection) CollectedSeries() []int { return c.collected.Series(c.weeks) }
+
+// AttemptedSeries returns the weekly count of attempted fetches.
+func (c *Collection) AttemptedSeries() []int { return c.attempted.Series(c.weeks) }
+
+// MeanCollected returns the average usable-page count per week (the paper's
+// 782,300 of 1M).
+func (c *Collection) MeanCollected() float64 { return meanInt(c.CollectedSeries()) }
+
+// ResourceShare is one Figure 2b series: the weekly fraction of collected
+// sites using a resource type.
+type ResourceShare struct {
+	Resource string
+	Weekly   []float64
+	Mean     float64
+}
+
+// ResourceShares returns the Figure 2b series in the paper's legend order.
+func (c *Collection) ResourceShares() []ResourceShare {
+	den := c.CollectedSeries()
+	mk := func(name string, s *weekSeries) ResourceShare {
+		num := s.Series(c.weeks)
+		weekly := make([]float64, c.weeks)
+		for i := range weekly {
+			if den[i] > 0 {
+				weekly[i] = float64(num[i]) / float64(den[i])
+			}
+		}
+		return ResourceShare{Resource: name, Weekly: weekly, Mean: meanRatio(num, den)}
+	}
+	return []ResourceShare{
+		mk("JavaScript", c.js),
+		mk("CSS", c.css),
+		mk("Favicon", c.favicon),
+		mk("imported-HTML", c.imported),
+		mk("XML", c.xml),
+		mk("SVG", c.svg),
+		mk("Flash", c.flash),
+		mk("AXD", c.axd),
+	}
+}

@@ -1,0 +1,256 @@
+// Package cdn models the delivery infrastructure of externally-hosted
+// JavaScript libraries: the CDN hosts observed in the paper (Table 5), the
+// version-control "untrustful" hosts of Section 6.5 / Table 6, and the URL
+// shapes each host serves libraries under.
+//
+// It is used from two independent directions: the ecosystem generator builds
+// URLs with it, and the fingerprint engine classifies hosts with it. Version
+// extraction from the URL itself is deliberately NOT here — that is the
+// fingerprint engine's job, working from the raw URL text as Wappalyzer does.
+package cdn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HostKind classifies a serving host for the trust analysis of Section 6.5.
+type HostKind int
+
+// Host kinds.
+const (
+	// HostUnknown is any host not in the catalog (e.g. the site itself).
+	HostUnknown HostKind = iota
+	// HostOfficialCDN is a CDN operated by the library project or a major
+	// vendor (code.jquery.com, ajax.googleapis.com, ...).
+	HostOfficialCDN
+	// HostPublicCDN is a free public CDN hosting open-source projects
+	// (cdnjs, jsDelivr, unpkg).
+	HostPublicCDN
+	// HostPlatformCDN is a website-platform CDN (wp.com, shopify,
+	// secureservercdn, parastorage).
+	HostPlatformCDN
+	// HostVersionControl is a collaborative version-control pages host
+	// (github.io, raw.githubusercontent.com, gitlab.io, bitbucket.io) —
+	// the "untrustful sources" of Section 6.5.
+	HostVersionControl
+)
+
+func (k HostKind) String() string {
+	switch k {
+	case HostOfficialCDN:
+		return "official-cdn"
+	case HostPublicCDN:
+		return "public-cdn"
+	case HostPlatformCDN:
+		return "platform-cdn"
+	case HostVersionControl:
+		return "version-control"
+	}
+	return "unknown"
+}
+
+// knownHosts is the host catalog. Suffix matching is used for *.github.io
+// style hosts.
+var knownHosts = map[string]HostKind{
+	"ajax.googleapis.com":        HostOfficialCDN,
+	"code.jquery.com":            HostOfficialCDN,
+	"cdnjs.cloudflare.com":       HostPublicCDN,
+	"cdn.jsdelivr.net":           HostPublicCDN,
+	"unpkg.com":                  HostPublicCDN,
+	"maxcdn.bootstrapcdn.com":    HostOfficialCDN,
+	"stackpath.bootstrapcdn.com": HostOfficialCDN,
+	"c0.wp.com":                  HostPlatformCDN,
+	"s0.wp.com":                  HostPlatformCDN,
+	"cdn.shopify.com":            HostPlatformCDN,
+	"secureservercdn.net":        HostPlatformCDN,
+	"static.parastorage.com":     HostPlatformCDN,
+	"cdn.polyfill.io":            HostOfficialCDN,
+	"polyfill.io":                HostOfficialCDN,
+	"momentjs.com":               HostOfficialCDN,
+	"widget.trustpilot.com":      HostPlatformCDN,
+	"cdn.prestosports.com":       HostPlatformCDN,
+	"strato-editor.com":          HostPlatformCDN,
+	"raw.githubusercontent.com":  HostVersionControl,
+	"assets-cdn.github.com":      HostVersionControl,
+}
+
+var versionControlSuffixes = []string{
+	".github.io", ".github.com", ".gitlab.io", ".bitbucket.io",
+}
+
+// Classify returns the HostKind for a hostname.
+func Classify(host string) HostKind {
+	host = strings.ToLower(host)
+	if k, ok := knownHosts[host]; ok {
+		return k
+	}
+	for _, suf := range versionControlSuffixes {
+		if strings.HasSuffix(host, suf) {
+			return HostVersionControl
+		}
+	}
+	return HostUnknown
+}
+
+// IsCDN reports whether host is any kind of content-delivery host (official,
+// public, or platform). The paper's "delivered by CDNs" metric counts these.
+func IsCDN(host string) bool {
+	switch Classify(host) {
+	case HostOfficialCDN, HostPublicCDN, HostPlatformCDN:
+		return true
+	}
+	return false
+}
+
+// IsVersionControl reports whether host is a collaborative version-control
+// pages host (the untrustful sources of Section 6.5).
+func IsVersionControl(host string) bool { return Classify(host) == HostVersionControl }
+
+// HostWeight is one (host, weight) option for serving a library.
+type HostWeight struct {
+	Host   string
+	Weight int
+}
+
+// HostsForLibrary returns the weighted external host mix per library slug,
+// calibrated to Table 5 of the paper. The weights are relative; hosts not
+// listed for a library get no traffic from the generator. Every library also
+// receives a small version-control share to exercise the Section 6.5
+// analysis.
+var HostsForLibrary = map[string][]HostWeight{
+	"jquery": {
+		{"ajax.googleapis.com", 26}, {"code.jquery.com", 10},
+		{"cdnjs.cloudflare.com", 7}, {"cdn.jsdelivr.net", 2},
+	},
+	"jquery-migrate": {
+		{"c0.wp.com", 22}, {"cdnjs.cloudflare.com", 5},
+		{"secureservercdn.net", 2},
+	},
+	"bootstrap": {
+		{"maxcdn.bootstrapcdn.com", 34}, {"widget.trustpilot.com", 10},
+		{"stackpath.bootstrapcdn.com", 10}, {"cdnjs.cloudflare.com", 4},
+	},
+	"jquery-ui": {
+		{"ajax.googleapis.com", 50}, {"code.jquery.com", 31},
+		{"cdnjs.cloudflare.com", 4},
+	},
+	"modernizr": {
+		{"cdnjs.cloudflare.com", 32}, {"cdn.shopify.com", 22},
+		{"cdn.prestosports.com", 1},
+	},
+	"js-cookie": {
+		{"cdn.jsdelivr.net", 21}, {"c0.wp.com", 12},
+		{"cdnjs.cloudflare.com", 12},
+	},
+	"underscore": {
+		{"c0.wp.com", 21}, {"cdnjs.cloudflare.com", 13},
+		{"secureservercdn.net", 2},
+	},
+	"isotope": {
+		{"secureservercdn.net", 3}, {"cdn.shopify.com", 2},
+		{"cdn.jsdelivr.net", 1},
+	},
+	"popper": {
+		{"cdnjs.cloudflare.com", 77}, {"cdn.jsdelivr.net", 9},
+		{"unpkg.com", 2},
+	},
+	"moment": {
+		{"cdnjs.cloudflare.com", 52}, {"cdn.jsdelivr.net", 6},
+		{"momentjs.com", 2},
+	},
+	"requirejs": {
+		{"cdnjs.cloudflare.com", 30}, {"cdn.jsdelivr.net", 5},
+	},
+	"swfobject": {
+		{"ajax.googleapis.com", 49}, {"cdnjs.cloudflare.com", 3},
+		{"s0.wp.com", 3},
+	},
+	"prototype": {
+		{"ajax.googleapis.com", 28}, {"strato-editor.com", 4},
+		{"cdnjs.cloudflare.com", 2},
+	},
+	"jquery-cookie": {
+		{"cdnjs.cloudflare.com", 63}, {"cdn.shopify.com", 8},
+		{"c0.wp.com", 1},
+	},
+	"polyfill": {
+		{"polyfill.io", 45}, {"cdn.polyfill.io", 31},
+		{"static.parastorage.com", 4},
+	},
+}
+
+// fileBase maps library slug to its conventional file base name.
+var fileBase = map[string]string{
+	"jquery":         "jquery",
+	"jquery-migrate": "jquery-migrate",
+	"bootstrap":      "bootstrap",
+	"jquery-ui":      "jquery-ui",
+	"modernizr":      "modernizr",
+	"js-cookie":      "js.cookie",
+	"underscore":     "underscore",
+	"isotope":        "isotope.pkgd",
+	"popper":         "popper",
+	"moment":         "moment",
+	"requirejs":      "require",
+	"swfobject":      "swfobject",
+	"prototype":      "prototype",
+	"jquery-cookie":  "jquery.cookie",
+	"polyfill":       "polyfill",
+}
+
+// FileBase returns the conventional minified file base name for a library
+// slug ("jquery" → "jquery", "js-cookie" → "js.cookie").
+func FileBase(lib string) string {
+	if b, ok := fileBase[lib]; ok {
+		return b
+	}
+	return lib
+}
+
+// URL builds the script URL a given host serves (lib, version) under,
+// reproducing each host's real path shape. Unknown hosts get a generic
+// versioned path.
+func URL(host, lib, version string) string {
+	base := FileBase(lib)
+	switch host {
+	case "ajax.googleapis.com":
+		return fmt.Sprintf("https://%s/ajax/libs/%s/%s/%s.min.js", host, lib, version, base)
+	case "code.jquery.com":
+		if lib == "jquery-ui" {
+			return fmt.Sprintf("https://%s/ui/%s/jquery-ui.min.js", host, version)
+		}
+		return fmt.Sprintf("https://%s/%s-%s.min.js", host, base, version)
+	case "cdnjs.cloudflare.com":
+		return fmt.Sprintf("https://%s/ajax/libs/%s/%s/%s.min.js", host, lib, version, base)
+	case "cdn.jsdelivr.net":
+		return fmt.Sprintf("https://%s/npm/%s@%s/dist/%s.min.js", host, lib, version, base)
+	case "unpkg.com":
+		return fmt.Sprintf("https://%s/%s@%s/dist/%s.min.js", host, lib, version, base)
+	case "maxcdn.bootstrapcdn.com", "stackpath.bootstrapcdn.com":
+		return fmt.Sprintf("https://%s/bootstrap/%s/js/bootstrap.min.js", host, version)
+	case "c0.wp.com", "s0.wp.com":
+		return fmt.Sprintf("https://%s/c/%s/wp-includes/js/%s.min.js", host, version, base)
+	case "polyfill.io", "cdn.polyfill.io":
+		return fmt.Sprintf("https://%s/v%s/polyfill.min.js", host, version)
+	case "momentjs.com":
+		return fmt.Sprintf("https://%s/downloads/moment-%s.min.js", host, version)
+	default:
+		return fmt.Sprintf("https://%s/libs/%s/%s/%s.min.js", host, lib, version, base)
+	}
+}
+
+// VersionControlURL builds a github.io-style URL. Such URLs typically carry
+// no version information, which is itself a finding the analysis preserves.
+func VersionControlURL(repo, lib string) string {
+	return fmt.Sprintf("https://%s.github.io/%s/%s.min.js", repo, lib, FileBase(lib))
+}
+
+// GitHubRepos is a pool of repository owners used for Section 6.5 / Table 6
+// style inclusions, seeded from the repositories the paper observed.
+var GitHubRepos = []string{
+	"partnercoll", "kodir2", "blueimp", "malsup", "hammerjs",
+	"radioafricagroup", "klevron", "afarkas", "owlcarousel2",
+	"jonathantneal", "malihu", "weblion777", "kenwheeler", "gitcdn",
+	"hayageek", "actlz", "wp-r",
+}

@@ -1,0 +1,135 @@
+package cdn
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	cases := map[string]HostKind{
+		"ajax.googleapis.com":       HostOfficialCDN,
+		"code.jquery.com":           HostOfficialCDN,
+		"cdnjs.cloudflare.com":      HostPublicCDN,
+		"cdn.jsdelivr.net":          HostPublicCDN,
+		"c0.wp.com":                 HostPlatformCDN,
+		"cdn.shopify.com":           HostPlatformCDN,
+		"blueimp.github.io":         HostVersionControl,
+		"raw.githubusercontent.com": HostVersionControl,
+		"foo.gitlab.io":             HostVersionControl,
+		"news123.com":               HostUnknown,
+		"CODE.JQUERY.COM":           HostOfficialCDN, // case-insensitive
+	}
+	for host, want := range cases {
+		if got := Classify(host); got != want {
+			t.Errorf("Classify(%q) = %v, want %v", host, got, want)
+		}
+	}
+}
+
+func TestIsCDNAndIsVersionControl(t *testing.T) {
+	if !IsCDN("ajax.googleapis.com") || !IsCDN("c0.wp.com") || !IsCDN("unpkg.com") {
+		t.Error("CDN hosts misclassified")
+	}
+	if IsCDN("blueimp.github.io") {
+		t.Error("github.io is not a CDN")
+	}
+	if !IsVersionControl("blueimp.github.io") || IsVersionControl("code.jquery.com") {
+		t.Error("version-control classification wrong")
+	}
+}
+
+func TestHostsForLibraryCoversTop15(t *testing.T) {
+	libs := []string{
+		"jquery", "bootstrap", "jquery-migrate", "jquery-ui", "modernizr",
+		"js-cookie", "underscore", "isotope", "popper", "moment",
+		"requirejs", "swfobject", "prototype", "jquery-cookie", "polyfill",
+	}
+	for _, lib := range libs {
+		hws, ok := HostsForLibrary[lib]
+		if !ok || len(hws) == 0 {
+			t.Errorf("no hosts for %q", lib)
+			continue
+		}
+		for _, hw := range hws {
+			if hw.Weight <= 0 {
+				t.Errorf("%s: host %s has non-positive weight", lib, hw.Host)
+			}
+			if Classify(hw.Host) == HostUnknown {
+				t.Errorf("%s: host %s not in catalog", lib, hw.Host)
+			}
+		}
+	}
+}
+
+func TestURLShapes(t *testing.T) {
+	cases := []struct {
+		host, lib, ver string
+		want           string
+	}{
+		{"ajax.googleapis.com", "jquery", "1.12.4",
+			"https://ajax.googleapis.com/ajax/libs/jquery/1.12.4/jquery.min.js"},
+		{"code.jquery.com", "jquery", "3.5.1",
+			"https://code.jquery.com/jquery-3.5.1.min.js"},
+		{"code.jquery.com", "jquery-ui", "1.12.1",
+			"https://code.jquery.com/ui/1.12.1/jquery-ui.min.js"},
+		{"maxcdn.bootstrapcdn.com", "bootstrap", "3.3.7",
+			"https://maxcdn.bootstrapcdn.com/bootstrap/3.3.7/js/bootstrap.min.js"},
+		{"cdn.jsdelivr.net", "js-cookie", "2.1.4",
+			"https://cdn.jsdelivr.net/npm/js-cookie@2.1.4/dist/js.cookie.min.js"},
+		{"polyfill.io", "polyfill", "3",
+			"https://polyfill.io/v3/polyfill.min.js"},
+		{"c0.wp.com", "jquery-migrate", "1.4.1",
+			"https://c0.wp.com/c/1.4.1/wp-includes/js/jquery-migrate.min.js"},
+	}
+	for _, c := range cases {
+		if got := URL(c.host, c.lib, c.ver); got != c.want {
+			t.Errorf("URL(%s,%s,%s) = %q, want %q", c.host, c.lib, c.ver, got, c.want)
+		}
+	}
+}
+
+func TestURLsParse(t *testing.T) {
+	for lib, hws := range HostsForLibrary {
+		for _, hw := range hws {
+			raw := URL(hw.Host, lib, "1.2.3")
+			u, err := url.Parse(raw)
+			if err != nil {
+				t.Errorf("URL(%s,%s) = %q: %v", hw.Host, lib, raw, err)
+				continue
+			}
+			if u.Host != hw.Host {
+				t.Errorf("URL host = %q, want %q", u.Host, hw.Host)
+			}
+			if !strings.HasSuffix(u.Path, ".js") {
+				t.Errorf("URL path %q does not end in .js", u.Path)
+			}
+		}
+	}
+}
+
+func TestVersionControlURL(t *testing.T) {
+	u := VersionControlURL("blueimp", "jquery")
+	if u != "https://blueimp.github.io/jquery/jquery.min.js" {
+		t.Errorf("VersionControlURL = %q", u)
+	}
+	parsed, err := url.Parse(u)
+	if err != nil || !IsVersionControl(parsed.Host) {
+		t.Errorf("VC URL host should classify as version control: %v", err)
+	}
+}
+
+func TestFileBase(t *testing.T) {
+	if FileBase("js-cookie") != "js.cookie" {
+		t.Error("js-cookie file base")
+	}
+	if FileBase("unknown-lib") != "unknown-lib" {
+		t.Error("unknown lib should fall through")
+	}
+}
+
+func TestGitHubReposNonEmpty(t *testing.T) {
+	if len(GitHubRepos) < 10 {
+		t.Errorf("GitHubRepos too small: %d", len(GitHubRepos))
+	}
+}

@@ -1,0 +1,276 @@
+// Package core orchestrates the full study pipeline: generate (or accept)
+// a web population, collect weekly snapshots — either by actually crawling
+// the synthetic web over HTTP and fingerprinting the pages, or directly
+// from generator ground truth at scale — run every analysis of the paper,
+// and run the PoC version-validation experiment.
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"clientres/internal/analysis"
+	"clientres/internal/crawler"
+	"clientres/internal/fingerprint"
+	"clientres/internal/poclab"
+	"clientres/internal/report"
+	"clientres/internal/store"
+	"clientres/internal/webgen"
+	"clientres/internal/webserver"
+)
+
+// Mode selects how snapshots are collected.
+type Mode int
+
+// Collection modes.
+const (
+	// ModeDirect converts generator ground truth straight into
+	// observations — the scale path (validated against ModeCrawl by the
+	// pipeline-equivalence tests).
+	ModeDirect Mode = iota
+	// ModeCrawl serves the synthetic web over a local HTTP listener,
+	// crawls every domain every week, and fingerprints the fetched pages —
+	// the paper's real pipeline.
+	ModeCrawl
+)
+
+// Config parameterizes a study run.
+type Config struct {
+	// Domains, Weeks, Seed parameterize the synthetic population.
+	Domains, Weeks int
+	Seed           int64
+	// Mode selects crawl vs direct collection.
+	Mode Mode
+	// Workers bounds crawl concurrency (ModeCrawl).
+	Workers int
+	// StorePath, when set, persists every observation to a gzip JSONL
+	// file.
+	StorePath string
+	// Progress, when set, receives one line per collected week.
+	Progress func(format string, args ...any)
+	// SkipPoC skips the version-validation experiment.
+	SkipPoC bool
+}
+
+// Results bundles every collector plus the PoC findings after a run.
+type Results struct {
+	Eco       *webgen.Ecosystem
+	Weeks     int
+	Coll      *analysis.Collection
+	Libs      *analysis.LibraryStats
+	Vuln      *analysis.VulnPrevalence
+	Delay     *analysis.UpdateDelay
+	SRI       *analysis.SRI
+	Flash     *analysis.Flash
+	WordPress *analysis.WordPress
+	Disc      *analysis.Discontinued
+	// Regress measures update roll-backs (the Section 9 future-work
+	// extension).
+	Regress  *analysis.Regressions
+	Findings []poclab.Finding
+}
+
+// Run executes the pipeline.
+func Run(ctx context.Context, cfg Config) (*Results, error) {
+	if cfg.Domains == 0 {
+		cfg.Domains = 2000
+	}
+	if cfg.Weeks == 0 {
+		cfg.Weeks = webgen.StudyWeeks
+	}
+	if cfg.Progress == nil {
+		cfg.Progress = func(string, ...any) {}
+	}
+	eco := webgen.New(webgen.Config{Domains: cfg.Domains, Weeks: cfg.Weeks, Seed: cfg.Seed})
+	res := &Results{
+		Eco:       eco,
+		Weeks:     cfg.Weeks,
+		Coll:      analysis.NewCollection(cfg.Weeks),
+		Libs:      analysis.NewLibraryStats(cfg.Weeks),
+		Vuln:      analysis.NewVulnPrevalence(cfg.Weeks),
+		Delay:     analysis.NewUpdateDelay(cfg.Weeks),
+		SRI:       analysis.NewSRI(cfg.Weeks),
+		Flash:     analysis.NewFlash(cfg.Weeks, cfg.Domains),
+		WordPress: analysis.NewWordPress(cfg.Weeks),
+		Disc:      analysis.NewDiscontinued(cfg.Weeks),
+		Regress:   analysis.NewRegressions(cfg.Weeks),
+	}
+	runner := analysis.NewRunner(res.Coll, res.Libs, res.Vuln, res.Delay,
+		res.SRI, res.Flash, res.WordPress, res.Disc, res.Regress)
+
+	var writer *store.Writer
+	if cfg.StorePath != "" {
+		var err error
+		writer, err = store.Create(cfg.StorePath)
+		if err != nil {
+			return nil, err
+		}
+		defer writer.Close()
+	}
+	observe := func(obs store.Observation) error {
+		runner.Observe(obs)
+		if writer != nil {
+			return writer.Write(obs)
+		}
+		return nil
+	}
+
+	var err error
+	switch cfg.Mode {
+	case ModeCrawl:
+		err = collectByCrawl(ctx, cfg, eco, observe)
+	default:
+		err = collectDirect(ctx, cfg, eco, observe)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if !cfg.SkipPoC {
+		res.Findings, err = poclab.RunAll()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// collectDirect streams ground-truth observations, weeks ascending.
+func collectDirect(ctx context.Context, cfg Config, eco *webgen.Ecosystem, observe func(store.Observation) error) error {
+	for w := 0; w < cfg.Weeks; w++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for i := range eco.Sites {
+			obs := analysis.ObservationFromTruth(eco.Sites[i].Domain, eco.Truth(i, w))
+			if err := observe(obs); err != nil {
+				return err
+			}
+		}
+		cfg.Progress("week %3d/%d collected (direct)", w+1, cfg.Weeks)
+	}
+	return nil
+}
+
+// collectByCrawl serves the ecosystem on a loopback listener, crawls every
+// week, and fingerprints the fetched pages.
+func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, observe func(store.Observation) error) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: webserver.New(eco)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	defer func() {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+		<-done
+	}()
+
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 64
+	}
+	cr := crawler.New(crawler.Config{
+		BaseURL: "http://" + ln.Addr().String(),
+		Workers: workers,
+	})
+	byName := eco.List.ByName()
+	domains := make([]string, len(eco.Sites))
+	for i, s := range eco.Sites {
+		domains[i] = s.Domain.Name
+	}
+	for w := 0; w < cfg.Weeks; w++ {
+		var obsErr error
+		err := cr.CrawlWeek(ctx, w, domains, func(p crawler.Page) {
+			dom := byName[p.Domain]
+			var det fingerprint.Detection
+			status := p.Status
+			if p.Err != nil {
+				status = 0
+			} else if status == 200 {
+				det = fingerprint.Page(p.Body, p.Domain)
+			}
+			obs := analysis.ObservationFromCrawl(dom, w, status, p.Body, det)
+			if e := observe(obs); e != nil && obsErr == nil {
+				obsErr = e
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if obsErr != nil {
+			return obsErr
+		}
+		cfg.Progress("week %3d/%d crawled", w+1, cfg.Weeks)
+	}
+	return nil
+}
+
+// RunFromStore replays a stored observation file through the analyses
+// (Findings still come from the PoC lab, which is dataset-independent).
+func RunFromStore(path string, weeks, domains int) (*Results, error) {
+	res := &Results{
+		Weeks:     weeks,
+		Coll:      analysis.NewCollection(weeks),
+		Libs:      analysis.NewLibraryStats(weeks),
+		Vuln:      analysis.NewVulnPrevalence(weeks),
+		Delay:     analysis.NewUpdateDelay(weeks),
+		SRI:       analysis.NewSRI(weeks),
+		Flash:     analysis.NewFlash(weeks, domains),
+		WordPress: analysis.NewWordPress(weeks),
+		Disc:      analysis.NewDiscontinued(weeks),
+		Regress:   analysis.NewRegressions(weeks),
+	}
+	runner := analysis.NewRunner(res.Coll, res.Libs, res.Vuln, res.Delay,
+		res.SRI, res.Flash, res.WordPress, res.Disc, res.Regress)
+	if err := store.ForEach(path, func(obs store.Observation) error {
+		runner.Observe(obs)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var err error
+	res.Findings, err = poclab.RunAll()
+	return res, err
+}
+
+// WriteReport renders every table and figure of the paper plus the headline
+// comparison.
+func (r *Results) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "clientres study report — %d weeks\n", r.Weeks)
+	report.Table1(w, r.Libs.Table1())
+	report.Table2(w, r.Findings, r.Vuln)
+	report.Table3(w)
+	report.Table4(w, r.WordPress.Table4())
+	report.Table5(w, r.Libs)
+	report.Table6(w, r.SRI)
+	report.Figure2a(w, r.Coll)
+	report.Figure2b(w, r.Coll)
+	report.Figure3(w, r.Libs, r.Weeks)
+	report.Figure4(w, r.Findings, "jquery", "Figure 4: jQuery disclosed vs true vulnerable versions")
+	report.Figure5(w, r.Vuln, r.Weeks,
+		[]string{"CVE-2020-7656", "CVE-2014-6071", "CVE-2020-11022"},
+		"Figure 5: affected sites over time, jQuery advisories (CVE vs TVV)")
+	report.Figure6(w, r.Libs, r.Weeks)
+	report.Figure7(w, r.Libs, r.Weeks)
+	report.Figure8(w, r.Flash, r.Weeks)
+	report.Figure9(w, r.WordPress, r.Weeks)
+	report.Figure10(w, r.SRI, r.Weeks)
+	report.Figure11(w, r.Flash, r.Weeks)
+	report.Figure12(w, r.Vuln)
+	report.Figure13(w, r.Findings)
+	report.Figure14(w, r.Vuln, r.Weeks)
+	report.Figure15(w, r.Libs, r.Weeks)
+	report.Headlines(w, r.Vuln, r.Delay, r.SRI, r.Flash, r.Disc)
+	report.Extensions(w, r.Vuln, r.Regress)
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"clientres/internal/analysis"
+	"clientres/internal/report"
+	"clientres/internal/vulndb"
+)
+
+// WriteCSVDir exports every figure's full weekly series as CSV files into
+// dir (created if missing) — the machine-readable companion to WriteReport,
+// suitable for external plotting of the paper's figures at full resolution.
+func (r *Results) WriteCSVDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	writers := []struct {
+		name string
+		fn   func() ([]string, [][]string)
+	}{
+		{"figure2a_collection.csv", r.csvCollection},
+		{"figure2b_resources.csv", r.csvResources},
+		{"figure3_library_usage.csv", r.csvLibraryUsage},
+		{"figure5_affected_series.csv", r.csvAffected},
+		{"figure7_jquery_versions.csv", r.csvJQueryVersions},
+		{"figure8_flash.csv", r.csvFlash},
+		{"figure9_wordpress.csv", r.csvWordPress},
+		{"figure10_sri.csv", r.csvSRI},
+		{"figure11_scriptaccess.csv", r.csvScriptAccess},
+		{"figure12_cdf.csv", r.csvCDF},
+	}
+	for _, wr := range writers {
+		headers, rows := wr.fn()
+		if err := writeCSVFile(filepath.Join(dir, wr.name), headers, rows); err != nil {
+			return fmt.Errorf("core: writing %s: %w", wr.name, err)
+		}
+	}
+	return nil
+}
+
+func writeCSVFile(path string, headers []string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	report.CSV(f, headers, rows)
+	return f.Close()
+}
+
+// weekColumn renders the date column shared by all series exports.
+func (r *Results) weekColumn() []string {
+	out := make([]string, r.Weeks)
+	for w := 0; w < r.Weeks; w++ {
+		out[w] = analysis.WeekDate(w).Format("2006-01-02")
+	}
+	return out
+}
+
+func (r *Results) csvCollection() ([]string, [][]string) {
+	dates := r.weekColumn()
+	attempted := r.Coll.AttemptedSeries()
+	collected := r.Coll.CollectedSeries()
+	rows := make([][]string, r.Weeks)
+	for w := range rows {
+		rows[w] = []string{dates[w], strconv.Itoa(attempted[w]), strconv.Itoa(collected[w])}
+	}
+	return []string{"date", "attempted", "collected"}, rows
+}
+
+func (r *Results) csvResources() ([]string, [][]string) {
+	dates := r.weekColumn()
+	shares := r.Coll.ResourceShares()
+	headers := []string{"date"}
+	for _, s := range shares {
+		headers = append(headers, s.Resource)
+	}
+	rows := make([][]string, r.Weeks)
+	for w := range rows {
+		row := []string{dates[w]}
+		for _, s := range shares {
+			row = append(row, fmt.Sprintf("%.4f", s.Weekly[w]))
+		}
+		rows[w] = row
+	}
+	return headers, rows
+}
+
+func (r *Results) csvLibraryUsage() ([]string, [][]string) {
+	dates := r.weekColumn()
+	headers := []string{"date"}
+	var series [][]float64
+	for _, lib := range vulndb.Libraries() {
+		headers = append(headers, lib.Slug)
+		series = append(series, r.Libs.UsageSeries(lib.Slug))
+	}
+	rows := make([][]string, r.Weeks)
+	for w := range rows {
+		row := []string{dates[w]}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.4f", s[w]))
+		}
+		rows[w] = row
+	}
+	return headers, rows
+}
+
+func (r *Results) csvAffected() ([]string, [][]string) {
+	dates := r.weekColumn()
+	headers := []string{"date"}
+	type pair struct{ cve, tvv []int }
+	var series []pair
+	for _, adv := range vulndb.Advisories() {
+		c, t := r.Vuln.AdvisorySeries(adv.ID)
+		series = append(series, pair{c, t})
+		headers = append(headers, adv.ID+"_cve", adv.ID+"_tvv")
+	}
+	rows := make([][]string, r.Weeks)
+	for w := range rows {
+		row := []string{dates[w]}
+		for _, p := range series {
+			row = append(row, strconv.Itoa(p.cve[w]), strconv.Itoa(p.tvv[w]))
+		}
+		rows[w] = row
+	}
+	return headers, rows
+}
+
+func (r *Results) csvJQueryVersions() ([]string, [][]string) {
+	dates := r.weekColumn()
+	versions := []string{"1.12.4", "1.11.3", "3.4.1", "3.5.0", "3.5.1", "3.6.0"}
+	headers := []string{"date"}
+	var all, wp [][]int
+	for _, v := range versions {
+		headers = append(headers, "v"+v, "v"+v+"_wordpress")
+		all = append(all, r.Libs.VersionSeries("jquery", v))
+		wp = append(wp, r.Libs.VersionSeriesWordPress("jquery", v))
+	}
+	rows := make([][]string, r.Weeks)
+	for w := range rows {
+		row := []string{dates[w]}
+		for i := range versions {
+			row = append(row, strconv.Itoa(all[i][w]), strconv.Itoa(wp[i][w]))
+		}
+		rows[w] = row
+	}
+	return headers, rows
+}
+
+func (r *Results) csvFlash() ([]string, [][]string) {
+	dates := r.weekColumn()
+	all, top10k, top1k := r.Flash.UsageSeries()
+	rows := make([][]string, r.Weeks)
+	for w := range rows {
+		rows[w] = []string{dates[w], strconv.Itoa(all[w]),
+			strconv.Itoa(top10k[w]), strconv.Itoa(top1k[w])}
+	}
+	return []string{"date", "all", "top1pct", "top01pct"}, rows
+}
+
+func (r *Results) csvWordPress() ([]string, [][]string) {
+	dates := r.weekColumn()
+	all, wp := r.WordPress.UsageSeries()
+	rows := make([][]string, r.Weeks)
+	for w := range rows {
+		rows[w] = []string{dates[w], strconv.Itoa(all[w]), strconv.Itoa(wp[w])}
+	}
+	return []string{"date", "all_sites", "wordpress_sites"}, rows
+}
+
+func (r *Results) csvSRI() ([]string, [][]string) {
+	dates := r.weekColumn()
+	missing, covered := r.SRI.SRISeries()
+	rows := make([][]string, r.Weeks)
+	for w := range rows {
+		rows[w] = []string{dates[w], strconv.Itoa(missing[w]), strconv.Itoa(covered[w])}
+	}
+	return []string{"date", "missing_integrity", "fully_covered"}, rows
+}
+
+func (r *Results) csvScriptAccess() ([]string, [][]string) {
+	dates := r.weekColumn()
+	flash, param, always := r.Flash.ScriptAccessSeries()
+	rows := make([][]string, r.Weeks)
+	for w := range rows {
+		rows[w] = []string{dates[w], strconv.Itoa(flash[w]),
+			strconv.Itoa(param[w]), strconv.Itoa(always[w])}
+	}
+	return []string{"date", "flash_sites", "allowscriptaccess", "always"}, rows
+}
+
+func (r *Results) csvCDF() ([]string, [][]string) {
+	cve := r.Vuln.VulnCDF(false)
+	tvv := r.Vuln.VulnCDF(true)
+	tvvAt := map[int]float64{}
+	for _, p := range tvv {
+		tvvAt[p.Count] = p.CDF
+	}
+	var rows [][]string
+	last := 0.0
+	for _, p := range cve {
+		t, ok := tvvAt[p.Count]
+		if !ok {
+			t = last
+		}
+		last = t
+		rows = append(rows, []string{strconv.Itoa(p.Count),
+			fmt.Sprintf("%.6f", p.CDF), fmt.Sprintf("%.6f", t)})
+	}
+	return []string{"vuln_count", "cdf_cve", "cdf_tvv"}, rows
+}

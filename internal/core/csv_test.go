@@ -1,0 +1,51 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSVDir(t *testing.T) {
+	res, err := Run(context.Background(), Config{Domains: 120, Weeks: 10, Seed: 6, SkipPoC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "csv")
+	if err := res.WriteCSVDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 10 {
+		t.Fatalf("csv files = %d, want 10", len(entries))
+	}
+	// Spot-check one file: header + one row per week.
+	data, err := os.ReadFile(filepath.Join(dir, "figure2a_collection.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("figure2a lines = %d, want 11 (header + 10 weeks)", len(lines))
+	}
+	if lines[0] != "date,attempted,collected" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "2018-03-05,") {
+		t.Errorf("first row = %q", lines[1])
+	}
+	// The wide advisory file has 1 + 27*2 columns.
+	data, err = os.ReadFile(filepath.Join(dir, "figure5_affected_series.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(string(data), "\n", 2)[0]
+	if got := len(strings.Split(header, ",")); got != 1+27*2 {
+		t.Errorf("affected series columns = %d, want %d", got, 1+27*2)
+	}
+}

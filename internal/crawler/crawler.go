@@ -1,0 +1,206 @@
+// Package crawler implements the study's landing-page crawler (Section 4.1).
+//
+// Like the paper's collector it is a Go net/http crawler that visits every
+// domain of the ranked list once per snapshot week, records the landing
+// page, and tolerates the open Web's failure modes: refused connections,
+// timeouts, 4xx anti-bot answers, and 5xx flakiness. Fetches run on a
+// bounded worker pool; results stream to the caller in completion order.
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"clientres/internal/webserver"
+)
+
+// Config parameterizes a Crawler.
+type Config struct {
+	// BaseURL is the root of the web under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Workers bounds concurrent fetches (default 32).
+	Workers int
+	// Timeout bounds one fetch including body read (default 10s).
+	Timeout time.Duration
+	// Retries is the number of re-attempts after connection-level errors
+	// (default 1). HTTP error statuses are never retried — they are data.
+	Retries int
+	// MaxBodyBytes caps how much of a page is read (default 2 MiB).
+	MaxBodyBytes int64
+	// UserAgent identifies the crawler.
+	UserAgent string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 32
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 1
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 2 << 20
+	}
+	if c.UserAgent == "" {
+		c.UserAgent = "clientres-study-crawler/1.0"
+	}
+	return c
+}
+
+// Page is the outcome of one (domain, week) fetch.
+type Page struct {
+	Domain string
+	Week   int
+	// Status is the HTTP status, or 0 when the connection failed.
+	Status int
+	// Body is the landing page HTML ("" on failure).
+	Body string
+	// Err is the connection-level error, if any.
+	Err error
+}
+
+// Crawler fetches landing pages.
+type Crawler struct {
+	cfg    Config
+	client *http.Client
+}
+
+// New builds a Crawler. The underlying http.Client reuses connections
+// across fetches.
+func New(cfg Config) *Crawler {
+	cfg = cfg.withDefaults()
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.Workers * 2,
+		MaxIdleConnsPerHost: cfg.Workers * 2,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	return &Crawler{
+		cfg:    cfg,
+		client: &http.Client{Transport: transport, Timeout: cfg.Timeout},
+	}
+}
+
+// Fetch retrieves one domain's landing page for a snapshot week.
+func (c *Crawler) Fetch(ctx context.Context, week int, domain string) Page {
+	page := Page{Domain: domain, Week: week}
+	url := c.cfg.BaseURL + webserver.PageURL(week, domain)
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				page.Err = ctx.Err()
+				return page
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			page.Err = err
+			return page
+		}
+		req.Header.Set("User-Agent", c.cfg.UserAgent)
+		resp, err := c.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue // connection-level failure: retry
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
+		_ = resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		page.Status = resp.StatusCode
+		page.Body = string(body)
+		page.Err = nil
+		return page
+	}
+	page.Err = fmt.Errorf("crawler: %s week %d: %w", domain, week, lastErr)
+	return page
+}
+
+// CrawlWeek fetches every domain for one snapshot week on the worker pool
+// and calls fn for each result from a single goroutine, in completion order.
+// It returns the first context error, if any.
+func (c *Crawler) CrawlWeek(ctx context.Context, week int, domains []string, fn func(Page)) error {
+	jobs := make(chan string)
+	results := make(chan Page)
+
+	var wg sync.WaitGroup
+	for i := 0; i < c.cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for domain := range jobs {
+				results <- c.Fetch(ctx, week, domain)
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, d := range domains {
+			select {
+			case jobs <- d:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	for page := range results {
+		fn(page)
+	}
+	return ctx.Err()
+}
+
+// Outcome summarizes a fetch for the inaccessible-domain filter.
+type Outcome struct {
+	// Status 0 means the connection failed outright.
+	Status int
+	// Bytes is the body length.
+	Bytes int
+}
+
+// ErrorOrEmpty reports whether an outcome is an error page or an empty page
+// under the paper's criteria: non-200 status, or a body under 400 bytes
+// (every such page was manually confirmed to be an error or anti-bot page).
+func (o Outcome) ErrorOrEmpty() bool { return o.Status != 200 || o.Bytes < 400 }
+
+// Inaccessible implements the paper's filter: a domain is removed from the
+// dataset when it answered with an error or empty page for all four
+// consecutive weeks of the last month of the collection period.
+func Inaccessible(lastFourWeeks []Outcome) bool {
+	if len(lastFourWeeks) < 4 {
+		return true // never seen healthy in the final month
+	}
+	for _, o := range lastFourWeeks {
+		if !o.ErrorOrEmpty() {
+			return false
+		}
+	}
+	return true
+}
+
+// FilterInaccessible returns the set of domains to prune given each domain's
+// outcomes over the final four snapshot weeks.
+func FilterInaccessible(byDomain map[string][]Outcome) map[string]bool {
+	out := make(map[string]bool)
+	for domain, outcomes := range byDomain {
+		if Inaccessible(outcomes) {
+			out[domain] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package crawler
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"clientres/internal/webgen"
+	"clientres/internal/webserver"
+)
+
+func TestFetchTimeout(t *testing.T) {
+	eco := webgen.New(webgen.Config{Domains: 30, Seed: 6})
+	srv := webserver.New(eco)
+	srv.Latency = 300 * time.Millisecond
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var healthy string
+	for i := range eco.Sites {
+		if eco.Truth(i, 0).Accessible {
+			healthy = eco.Sites[i].Domain.Name
+			break
+		}
+	}
+	if healthy == "" {
+		t.Skip("no healthy site")
+	}
+
+	// A timeout shorter than the latency fails at the connection level.
+	fast := New(Config{BaseURL: ts.URL, Timeout: 50 * time.Millisecond, Retries: 1})
+	page := fast.Fetch(context.Background(), 0, healthy)
+	if page.Err == nil {
+		t.Error("sub-latency timeout should fail")
+	}
+	// A generous timeout succeeds.
+	slow := New(Config{BaseURL: ts.URL, Timeout: 5 * time.Second})
+	page = slow.Fetch(context.Background(), 0, healthy)
+	if page.Err != nil || page.Status != 200 {
+		t.Errorf("generous timeout should succeed: status %d err %v", page.Status, page.Err)
+	}
+}
+
+func TestMaxBodyBytesCapsPage(t *testing.T) {
+	eco := webgen.New(webgen.Config{Domains: 30, Seed: 6})
+	ts := httptest.NewServer(webserver.New(eco))
+	defer ts.Close()
+	var healthy string
+	for i := range eco.Sites {
+		if eco.Truth(i, 0).Accessible {
+			healthy = eco.Sites[i].Domain.Name
+			break
+		}
+	}
+	c := New(Config{BaseURL: ts.URL, MaxBodyBytes: 128})
+	page := c.Fetch(context.Background(), 0, healthy)
+	if page.Err != nil {
+		t.Fatal(page.Err)
+	}
+	if len(page.Body) > 128 {
+		t.Errorf("body = %d bytes, cap 128", len(page.Body))
+	}
+}

@@ -1,0 +1,134 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"clientres/internal/cdn"
+	"clientres/internal/webgen"
+)
+
+// TestRecoversGroundTruth is the pipeline-fidelity check: detection over
+// generator-rendered pages must recover the generator's ground truth. The
+// generator and this package share no code — URLs are built by internal/cdn
+// and parsed back here by independent pattern tables.
+func TestRecoversGroundTruth(t *testing.T) {
+	e := webgen.New(webgen.Config{Domains: 600, Seed: 3})
+	weeks := []int{0, 60, 120, 180}
+	pages, libChecks := 0, 0
+	for i := range e.Sites {
+		host := e.Sites[i].Domain.Name
+		for _, w := range weeks {
+			truth := e.Truth(i, w)
+			if !truth.Accessible {
+				continue
+			}
+			html, status := e.PageHTML(i, w)
+			if status != 200 {
+				t.Fatalf("site %d week %d: truth accessible, status %d", i, w, status)
+			}
+			pages++
+			det := Page(html, host)
+
+			// Every truth library must be detected with the right version
+			// (except version-control-hosted inclusions, which carry no
+			// version in their URL by design).
+			for _, lib := range truth.Libs {
+				hit, ok := det.Lib(lib.Slug)
+				if !ok {
+					t.Errorf("site %d week %d: %s not detected", i, w, lib.Slug)
+					continue
+				}
+				libChecks++
+				vcHosted := lib.External && cdn.IsVersionControl(lib.Host)
+				switch {
+				case vcHosted:
+					if !hit.Version.IsZero() {
+						t.Errorf("site %d week %d: %s VC-hosted but version %s detected",
+							i, w, lib.Slug, hit.Version)
+					}
+				case !hit.Version.Equal(lib.Version):
+					t.Errorf("site %d week %d: %s version %s, truth %s",
+						i, w, lib.Slug, hit.Version, lib.Version)
+				}
+				if hit.External != lib.External {
+					t.Errorf("site %d week %d: %s external=%v, truth %v",
+						i, w, lib.Slug, hit.External, lib.External)
+				}
+				if lib.External && hit.Host != lib.Host {
+					t.Errorf("site %d week %d: %s host %q, truth %q",
+						i, w, lib.Slug, hit.Host, lib.Host)
+				}
+				if hit.SRI != lib.SRI || hit.Crossorigin != lib.Crossorigin {
+					t.Errorf("site %d week %d: %s SRI/crossorigin (%v,%q), truth (%v,%q)",
+						i, w, lib.Slug, hit.SRI, hit.Crossorigin, lib.SRI, lib.Crossorigin)
+				}
+			}
+
+			// No phantom known-library detections.
+			for _, hit := range det.Libraries {
+				if !hit.Known {
+					continue
+				}
+				if _, ok := truth.Lib(hit.Slug); !ok {
+					t.Errorf("site %d week %d: phantom detection %s (%s)",
+						i, w, hit.Slug, hit.SourceURL)
+				}
+			}
+
+			// Tail libraries recovered by name and version.
+			for _, tl := range truth.Tail {
+				hit, ok := det.Lib(tl.Name)
+				if !ok {
+					t.Errorf("site %d week %d: tail %s not detected", i, w, tl.Name)
+					continue
+				}
+				if hit.Version.String() != tl.Version {
+					t.Errorf("site %d week %d: tail %s version %s, truth %s",
+						i, w, tl.Name, hit.Version, tl.Version)
+				}
+			}
+
+			// Platform and resource flags.
+			if !truth.WordPress.IsZero() {
+				if !det.WordPress.Equal(truth.WordPress) {
+					t.Errorf("site %d week %d: WP %s, truth %s", i, w, det.WordPress, truth.WordPress)
+				}
+			} else if !det.WordPress.IsZero() {
+				t.Errorf("site %d week %d: phantom WordPress %s", i, w, det.WordPress)
+			}
+			if (truth.Flash != nil) != (det.Flash != nil) {
+				t.Errorf("site %d week %d: flash truth %v det %v", i, w, truth.Flash != nil, det.Flash != nil)
+			}
+			if truth.Flash != nil && det.Flash != nil {
+				if det.Flash.ScriptAccessParam != truth.Flash.ScriptAccessParam ||
+					det.Flash.Always != truth.Flash.Always {
+					t.Errorf("site %d week %d: flash params det %+v truth %+v",
+						i, w, det.Flash, truth.Flash)
+				}
+				// Visibility recovered from the off-screen styling.
+				if det.Flash.Visible != truth.Flash.Visible {
+					t.Errorf("site %d week %d: flash visible det %v truth %v",
+						i, w, det.Flash.Visible, truth.Flash.Visible)
+				}
+			}
+			if det.Resources.JavaScript != truth.HasJS {
+				t.Errorf("site %d week %d: JS flag det %v truth %v", i, w,
+					det.Resources.JavaScript, truth.HasJS)
+			}
+			if det.Resources.CSS != truth.UsesCSS || det.Resources.Favicon != truth.UsesFavicon {
+				t.Errorf("site %d week %d: CSS/favicon flags mismatch", i, w)
+			}
+			if det.Resources.XML != truth.UsesXML || det.Resources.SVG != truth.UsesSVG ||
+				det.Resources.AXD != truth.UsesAXD {
+				t.Errorf("site %d week %d: XML/SVG/AXD flags mismatch", i, w)
+			}
+			if det.Resources.ImportedHTML != truth.UsesImportedHTML {
+				t.Errorf("site %d week %d: imported-HTML det %v truth %v", i, w,
+					det.Resources.ImportedHTML, truth.UsesImportedHTML)
+			}
+		}
+	}
+	if pages < 500 || libChecks < 1000 {
+		t.Fatalf("cross-check too small: %d pages, %d lib checks", pages, libChecks)
+	}
+}

@@ -1,0 +1,222 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"clientres/internal/semver"
+)
+
+func detect(t *testing.T, html string) Detection {
+	t.Helper()
+	return Page(html, "example.com")
+}
+
+func TestCDNUrlShapes(t *testing.T) {
+	cases := []struct {
+		src, slug, ver string
+	}{
+		{"https://ajax.googleapis.com/ajax/libs/jquery/1.12.4/jquery.min.js", "jquery", "1.12.4"},
+		{"https://code.jquery.com/jquery-3.5.1.min.js", "jquery", "3.5.1"},
+		{"https://code.jquery.com/ui/1.12.1/jquery-ui.min.js", "jquery-ui", "1.12.1"},
+		{"https://cdnjs.cloudflare.com/ajax/libs/jquery-migrate/1.4.1/jquery-migrate.min.js", "jquery-migrate", "1.4.1"},
+		{"https://maxcdn.bootstrapcdn.com/bootstrap/3.3.7/js/bootstrap.min.js", "bootstrap", "3.3.7"},
+		{"https://cdn.jsdelivr.net/npm/js-cookie@2.1.4/dist/js.cookie.min.js", "js-cookie", "2.1.4"},
+		{"https://unpkg.com/popper@1.14.3/dist/popper.min.js", "popper", "1.14.3"},
+		{"https://cdnjs.cloudflare.com/ajax/libs/moment/2.18.1/moment.min.js", "moment", "2.18.1"},
+		{"https://polyfill.io/v3/polyfill.min.js", "polyfill", "3"},
+		{"https://c0.wp.com/c/1.4.1/wp-includes/js/jquery-migrate.min.js", "jquery-migrate", "1.4.1"},
+		{"https://ajax.googleapis.com/ajax/libs/swfobject/2.2/swfobject.min.js", "swfobject", "2.2"},
+		{"https://momentjs.com/downloads/moment-2.29.1.min.js", "moment", "2.29.1"},
+		{"https://cdnjs.cloudflare.com/ajax/libs/prototype/1.6.0.1/prototype.min.js", "prototype", "1.6.0.1"},
+	}
+	for _, c := range cases {
+		det := detect(t, `<script src="`+c.src+`"></script>`)
+		if len(det.Libraries) != 1 {
+			t.Errorf("%s: %d hits", c.src, len(det.Libraries))
+			continue
+		}
+		h := det.Libraries[0]
+		if h.Slug != c.slug || !h.Version.Equal(semver.MustParse(c.ver)) {
+			t.Errorf("%s: got (%s, %s), want (%s, %s)", c.src, h.Slug, h.Version, c.slug, c.ver)
+		}
+		if !h.External || !h.Known {
+			t.Errorf("%s: external/known flags wrong: %+v", c.src, h)
+		}
+	}
+}
+
+func TestInternalUrlShapes(t *testing.T) {
+	cases := []struct {
+		src, slug, ver string
+	}{
+		{"/assets/js/jquery-1.12.4.min.js", "jquery", "1.12.4"},
+		{"/static/jquery/1.12.4/jquery.min.js", "jquery", "1.12.4"},
+		{"/js/jquery.min.js?v=1.12.4", "jquery", "1.12.4"},
+		{"/wp-includes/js/jquery/jquery.min.js?ver=3.5.1", "jquery", "3.5.1"},
+		{"/wp-includes/js/jquery/jquery-migrate.min.js?ver=3.3.2", "jquery-migrate", "3.3.2"},
+		{"/assets/js/isotope.pkgd-3.0.4.min.js", "isotope", "3.0.4"},
+		{"/assets/js/js.cookie-2.1.4.min.js", "js-cookie", "2.1.4"},
+		{"/assets/js/polyfill-3.min.js", "polyfill", "3"},
+		{"/assets/js/underscore-1.8.3.min.js", "underscore", "1.8.3"},
+		{"/static/requirejs/2.3.6/require.min.js", "requirejs", "2.3.6"},
+	}
+	for _, c := range cases {
+		det := detect(t, `<script src="`+c.src+`"></script>`)
+		if len(det.Libraries) != 1 {
+			t.Errorf("%s: %d hits", c.src, len(det.Libraries))
+			continue
+		}
+		h := det.Libraries[0]
+		if h.Slug != c.slug || !h.Version.Equal(semver.MustParse(c.ver)) {
+			t.Errorf("%s: got (%s, %s), want (%s, %s)", c.src, h.Slug, h.Version, c.slug, c.ver)
+		}
+		if h.External {
+			t.Errorf("%s: should be internal", c.src)
+		}
+	}
+}
+
+func TestExternalVsInternalByHost(t *testing.T) {
+	html := `<script src="https://example.com/js/jquery-1.12.4.min.js"></script>` +
+		`<script src="https://other.com/js/jquery-1.12.4.min.js"></script>`
+	det := Page(html, "example.com")
+	if len(det.Libraries) != 2 {
+		t.Fatalf("hits = %d", len(det.Libraries))
+	}
+	if det.Libraries[0].External {
+		t.Error("same-host absolute URL should be internal")
+	}
+	if !det.Libraries[1].External {
+		t.Error("other-host URL should be external")
+	}
+}
+
+func TestVersionControlHostedNoVersion(t *testing.T) {
+	det := detect(t, `<script src="https://blueimp.github.io/jquery/jquery.min.js"></script>`)
+	if len(det.Libraries) != 1 {
+		t.Fatalf("hits = %d", len(det.Libraries))
+	}
+	h := det.Libraries[0]
+	if h.Slug != "jquery" || !h.Version.IsZero() || !h.External {
+		t.Errorf("github-hosted hit = %+v", h)
+	}
+}
+
+func TestSiteScriptsAreNotLibraries(t *testing.T) {
+	html := `<script src="/js/app.js"></script><script src="/js/theme.js"></script>` +
+		`<script>var x = 1;</script>`
+	det := detect(t, html)
+	if len(det.Libraries) != 0 {
+		t.Errorf("site scripts misdetected as libraries: %+v", det.Libraries)
+	}
+	if !det.Resources.JavaScript || det.ScriptCount != 3 {
+		t.Errorf("JS resource flags wrong: %+v count %d", det.Resources, det.ScriptCount)
+	}
+}
+
+func TestUnknownLibraryWithVersion(t *testing.T) {
+	det := detect(t, `<script src="/vendor/lodash/3.2.1/lodash.min.js"></script>`)
+	if len(det.Libraries) != 1 {
+		t.Fatalf("hits = %d", len(det.Libraries))
+	}
+	h := det.Libraries[0]
+	if h.Slug != "lodash" || h.Known || !h.Version.Equal(semver.MustParse("3.2.1")) {
+		t.Errorf("tail hit = %+v", h)
+	}
+}
+
+func TestSRIAndCrossorigin(t *testing.T) {
+	html := `<script src="https://code.jquery.com/jquery-3.5.1.min.js" ` +
+		`integrity="sha384-xyz" crossorigin="anonymous"></script>` +
+		`<script src="https://code.jquery.com/jquery-1.9.1.min.js"></script>` +
+		`<script src="https://code.jquery.com/jquery-2.2.4.min.js" integrity="sha256-q" crossorigin="use-credentials"></script>`
+	det := detect(t, html)
+	if len(det.Libraries) != 3 {
+		t.Fatalf("hits = %d", len(det.Libraries))
+	}
+	if !det.Libraries[0].SRI || det.Libraries[0].Crossorigin != "anonymous" {
+		t.Errorf("hit 0 SRI wrong: %+v", det.Libraries[0])
+	}
+	if det.Libraries[1].SRI || det.Libraries[1].Crossorigin != "" {
+		t.Errorf("hit 1 should have no SRI: %+v", det.Libraries[1])
+	}
+	if det.Libraries[2].Crossorigin != "use-credentials" {
+		t.Errorf("hit 2 crossorigin = %q", det.Libraries[2].Crossorigin)
+	}
+}
+
+func TestWordPressDetection(t *testing.T) {
+	html := `<meta name="generator" content="WordPress 5.6">` +
+		`<link rel="stylesheet" href="/wp-content/themes/base/style.css">`
+	det := detect(t, html)
+	if !det.WordPressSeen || !det.WordPress.Equal(semver.MustParse("5.6")) {
+		t.Errorf("WP detection = seen %v version %s", det.WordPressSeen, det.WordPress)
+	}
+	// Path markers alone set seen without a version.
+	det2 := detect(t, `<script src="/wp-includes/js/jquery/jquery.min.js?ver=1.12.4"></script>`)
+	if !det2.WordPressSeen || !det2.WordPress.IsZero() {
+		t.Errorf("WP path-only detection wrong: %v %s", det2.WordPressSeen, det2.WordPress)
+	}
+}
+
+func TestFlashDetection(t *testing.T) {
+	html := `<object classid="clsid:D27CDB6E-AE6D-11cf-96B8-444553540000">
+  <param name="movie" value="/media/banner.swf">
+  <param name="allowScriptAccess" value="always">
+  <embed src="/media/banner.swf" type="application/x-shockwave-flash" allowscriptaccess="always">
+</object>`
+	det := detect(t, html)
+	if !det.Resources.Flash || det.Flash == nil {
+		t.Fatal("Flash not detected")
+	}
+	if !det.Flash.ScriptAccessParam || !det.Flash.Always {
+		t.Errorf("AllowScriptAccess detection = %+v", det.Flash)
+	}
+}
+
+func TestFlashSameDomainIsNotAlways(t *testing.T) {
+	html := `<embed src="/m.swf" allowscriptaccess="sameDomain">`
+	det := detect(t, html)
+	if det.Flash == nil || !det.Flash.ScriptAccessParam || det.Flash.Always {
+		t.Errorf("sameDomain handling wrong: %+v", det.Flash)
+	}
+}
+
+func TestSWFObjectInlineDetection(t *testing.T) {
+	html := `<script>swfobject.embedSWF("/media/banner.swf", "slot", "468", "60", "9.0.0");</script>`
+	det := detect(t, html)
+	if det.Flash == nil || !det.Flash.ViaSWFObject || !det.Resources.Flash {
+		t.Errorf("SWFObject embed not detected: %+v", det.Flash)
+	}
+}
+
+func TestResourceFlags(t *testing.T) {
+	html := `<link rel="stylesheet" href="/css/site.css">
+<link rel="shortcut icon" href="/favicon.ico">
+<link rel="alternate" type="application/rss+xml" href="/feed.xml">
+<link rel="stylesheet" href="/render/styles.php">
+<script src="/render/loader.php"></script>
+<svg width="1" height="1"></svg>
+<script src="/WebResource.axd?d=x"></script>`
+	det := detect(t, html)
+	r := det.Resources
+	if !r.CSS || !r.Favicon || !r.XML || !r.ImportedHTML || !r.SVG || !r.AXD {
+		t.Errorf("resource flags = %+v", r)
+	}
+}
+
+func TestMalformedHTMLDoesNotPanic(t *testing.T) {
+	for _, html := range []string{
+		"", "<script src=", `<script src="http://%zz/x.js"></script>`,
+		"<object><param", `<script src="//host/jquery-1.2.3"></script>`,
+	} {
+		_ = detect(t, html)
+	}
+}
+
+func TestBareCrossoriginDefaultsAnonymous(t *testing.T) {
+	det := detect(t, `<script src="https://code.jquery.com/jquery-3.5.1.min.js" integrity="sha1-x" crossorigin></script>`)
+	if len(det.Libraries) != 1 || det.Libraries[0].Crossorigin != "anonymous" {
+		t.Errorf("bare crossorigin = %+v", det.Libraries)
+	}
+}

@@ -1,0 +1,102 @@
+package fingerprint
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clientres/internal/cdn"
+	"clientres/internal/semver"
+	"clientres/internal/vulndb"
+)
+
+// Property: any (known library, catalog version, catalog host) triple built
+// into a URL by the CDN module is detected back exactly — the generator and
+// the detector agree on the URL grammar for the entire host × library ×
+// version space, not just the hand-picked test cases.
+func TestQuickCDNRoundTrip(t *testing.T) {
+	libs := vulndb.Libraries()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lib := libs[r.Intn(len(libs))]
+		cat, ok := vulndb.CatalogFor(lib.Slug)
+		if !ok || len(cat.Releases) == 0 {
+			return false
+		}
+		ver := cat.Releases[r.Intn(len(cat.Releases))].Version
+		hosts := cdn.HostsForLibrary[lib.Slug]
+		if len(hosts) == 0 {
+			return true
+		}
+		host := hosts[r.Intn(len(hosts))].Host
+		url := cdn.URL(host, lib.Slug, ver.String())
+		det := Page(fmt.Sprintf(`<script src=%q></script>`, url), "site.example")
+		if len(det.Libraries) != 1 {
+			t.Logf("url %s: %d hits", url, len(det.Libraries))
+			return false
+		}
+		hit := det.Libraries[0]
+		if hit.Slug != lib.Slug || !hit.External || hit.Host != host {
+			t.Logf("url %s: hit %+v", url, hit)
+			return false
+		}
+		// polyfill's vN URLs keep only the major — compare accordingly.
+		if lib.Slug == "polyfill" {
+			return hit.Version.Major() == ver.Major()
+		}
+		if !hit.Version.Equal(ver) {
+			t.Logf("url %s: version %s want %s", url, hit.Version, ver)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: version detection never invents a version — if a URL carries no
+// version-shaped token, the hit has a zero version.
+func TestQuickNoInventedVersions(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		libs := vulndb.Libraries()
+		lib := libs[r.Intn(len(libs))]
+		url := fmt.Sprintf("https://host%d.example/static/%s.min.js", r.Intn(50), cdn.FileBase(lib.Slug))
+		det := Page(fmt.Sprintf(`<script src=%q></script>`, url), "site.example")
+		if len(det.Libraries) != 1 {
+			return false
+		}
+		return det.Libraries[0].Version.IsZero()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: detection output is deterministic.
+func TestQuickDeterministic(t *testing.T) {
+	f := func(html string) bool {
+		a := Page(html, "site.example")
+		b := Page(html, "site.example")
+		if len(a.Libraries) != len(b.Libraries) || a.ScriptCount != b.ScriptCount {
+			return false
+		}
+		for i := range a.Libraries {
+			x, y := a.Libraries[i], b.Libraries[i]
+			if x.Slug != y.Slug || !x.Version.Equal(y.Version) ||
+				x.External != y.External || x.Host != y.Host ||
+				x.SRI != y.SRI || x.Crossorigin != y.Crossorigin {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Keep the semver import honest (catalog versions round-trip through it).
+var _ = semver.Version{}

@@ -1,0 +1,276 @@
+package poclab
+
+import "fmt"
+
+// bregex is a deliberately naive backtracking regular-expression engine.
+//
+// Go's regexp is RE2 and cannot exhibit catastrophic backtracking, but the
+// ReDoS advisories of Table 2 (Prototype CVE-2020-27511, Moment
+// CVE-2016-4055 / CVE-2017-18214) are precisely about backtracking blow-up
+// in JavaScript engines. This engine reproduces that behaviour: it counts
+// every matcher step and aborts once a budget is exceeded, letting PoCs
+// observe "this pattern/input pair is a denial of service" mechanically.
+//
+// Supported syntax: literals, '.', character classes [abc], [^abc], [a-z],
+// groups (...), alternation |, and the quantifiers *, +, ? (greedy only) —
+// enough to express the vulnerable patterns.
+
+type bnode interface{ fmt.Stringer }
+
+type bLiteral struct{ ch byte }
+type bAny struct{}
+type bClass struct {
+	neg    bool
+	ranges [][2]byte
+}
+type bSeq struct{ items []bquant }
+type bAlt struct{ opts []bSeq }
+
+type bquant struct {
+	atom bnode
+	min  int // 0 or 1
+	max  int // 1 or -1 (unbounded)
+}
+
+func (l bLiteral) String() string { return string(l.ch) }
+func (bAny) String() string       { return "." }
+func (c bClass) String() string   { return "[class]" }
+func (s bSeq) String() string     { return "(seq)" }
+func (a bAlt) String() string     { return "(alt)" }
+
+// compileB parses a pattern into an AST. Panics on malformed patterns —
+// patterns are package-internal literals.
+func compileB(pattern string) bAlt {
+	p := &bparser{src: pattern}
+	alt := p.parseAlt()
+	if p.pos != len(p.src) {
+		panic(fmt.Sprintf("bregex: trailing input at %d in %q", p.pos, pattern))
+	}
+	return alt
+}
+
+type bparser struct {
+	src string
+	pos int
+}
+
+func (p *bparser) parseAlt() bAlt {
+	alt := bAlt{opts: []bSeq{p.parseSeq()}}
+	for p.pos < len(p.src) && p.src[p.pos] == '|' {
+		p.pos++
+		alt.opts = append(alt.opts, p.parseSeq())
+	}
+	return alt
+}
+
+func (p *bparser) parseSeq() bSeq {
+	var seq bSeq
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '|' || c == ')' {
+			break
+		}
+		atom := p.parseAtom()
+		q := bquant{atom: atom, min: 1, max: 1}
+		if p.pos < len(p.src) {
+			switch p.src[p.pos] {
+			case '*':
+				q.min, q.max = 0, -1
+				p.pos++
+			case '+':
+				q.min, q.max = 1, -1
+				p.pos++
+			case '?':
+				q.min, q.max = 0, 1
+				p.pos++
+			}
+		}
+		seq.items = append(seq.items, q)
+	}
+	return seq
+}
+
+func (p *bparser) parseAtom() bnode {
+	c := p.src[p.pos]
+	switch c {
+	case '(':
+		p.pos++
+		alt := p.parseAlt()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			panic("bregex: unclosed group")
+		}
+		p.pos++
+		return alt
+	case '[':
+		return p.parseClass()
+	case '.':
+		p.pos++
+		return bAny{}
+	case '\\':
+		p.pos += 2
+		return escaped(p.src[p.pos-1])
+	default:
+		p.pos++
+		return bLiteral{ch: c}
+	}
+}
+
+func escaped(c byte) bnode {
+	switch c {
+	case 'd':
+		return bClass{ranges: [][2]byte{{'0', '9'}}}
+	case 'w':
+		return bClass{ranges: [][2]byte{{'a', 'z'}, {'A', 'Z'}, {'0', '9'}, {'_', '_'}}}
+	case 's':
+		return bClass{ranges: [][2]byte{{' ', ' '}, {'\t', '\t'}, {'\n', '\n'}, {'\r', '\r'}}}
+	default:
+		return bLiteral{ch: c}
+	}
+}
+
+func (p *bparser) parseClass() bnode {
+	p.pos++ // '['
+	cls := bClass{}
+	if p.pos < len(p.src) && p.src[p.pos] == '^' {
+		cls.neg = true
+		p.pos++
+	}
+	for p.pos < len(p.src) && p.src[p.pos] != ']' {
+		lo := p.src[p.pos]
+		if lo == '\\' {
+			p.pos++
+			lo = p.src[p.pos]
+		}
+		p.pos++
+		hi := lo
+		if p.pos+1 < len(p.src) && p.src[p.pos] == '-' && p.src[p.pos+1] != ']' {
+			p.pos++
+			hi = p.src[p.pos]
+			p.pos++
+		}
+		cls.ranges = append(cls.ranges, [2]byte{lo, hi})
+	}
+	if p.pos >= len(p.src) {
+		panic("bregex: unclosed class")
+	}
+	p.pos++ // ']'
+	return cls
+}
+
+// matchSteps attempts an anchored match of pattern against input and
+// returns (matched, steps). It aborts with matched=false once steps exceeds
+// budget; the step counter is the experiment's DoS signal.
+func matchSteps(pattern, input string, budget int) (bool, int) {
+	ast := compileB(pattern)
+	m := &bmatcher{input: input, budget: budget}
+	ok := m.matchAlt(ast, 0, func(end int) bool { return end == len(input) })
+	return ok && !m.exhausted, m.steps
+}
+
+type bmatcher struct {
+	input     string
+	steps     int
+	budget    int
+	exhausted bool
+}
+
+func (m *bmatcher) tick() bool {
+	m.steps++
+	if m.steps > m.budget {
+		m.exhausted = true
+		return false
+	}
+	return true
+}
+
+// matchAlt tries each alternative; k receives the end position on success.
+func (m *bmatcher) matchAlt(a bAlt, pos int, k func(int) bool) bool {
+	if !m.tick() {
+		return false
+	}
+	for _, seq := range a.opts {
+		if m.matchSeq(seq, 0, pos, k) {
+			return true
+		}
+		if m.exhausted {
+			return false
+		}
+	}
+	return false
+}
+
+func (m *bmatcher) matchSeq(s bSeq, idx, pos int, k func(int) bool) bool {
+	if !m.tick() {
+		return false
+	}
+	if idx == len(s.items) {
+		return k(pos)
+	}
+	q := s.items[idx]
+	rest := func(end int) bool { return m.matchSeq(s, idx+1, end, k) }
+	return m.matchQuant(q, pos, 0, rest)
+}
+
+// matchQuant greedily consumes repetitions of the quantified atom.
+func (m *bmatcher) matchQuant(q bquant, pos, count int, k func(int) bool) bool {
+	if !m.tick() {
+		return false
+	}
+	canMore := q.max < 0 || count < q.max
+	if canMore {
+		if m.matchAtom(q.atom, pos, func(end int) bool {
+			if end == pos && q.max < 0 {
+				// Zero-width repetition: avoid infinite loops.
+				return false
+			}
+			return m.matchQuant(q, end, count+1, k)
+		}) {
+			return true
+		}
+		if m.exhausted {
+			return false
+		}
+	}
+	if count >= q.min {
+		return k(pos)
+	}
+	return false
+}
+
+func (m *bmatcher) matchAtom(a bnode, pos int, k func(int) bool) bool {
+	if !m.tick() {
+		return false
+	}
+	switch n := a.(type) {
+	case bLiteral:
+		if pos < len(m.input) && m.input[pos] == n.ch {
+			return k(pos + 1)
+		}
+		return false
+	case bAny:
+		if pos < len(m.input) {
+			return k(pos + 1)
+		}
+		return false
+	case bClass:
+		if pos >= len(m.input) {
+			return false
+		}
+		c := m.input[pos]
+		in := false
+		for _, r := range n.ranges {
+			if c >= r[0] && c <= r[1] {
+				in = true
+				break
+			}
+		}
+		if in != n.neg {
+			return k(pos + 1)
+		}
+		return false
+	case bAlt:
+		return m.matchAlt(n, pos, k)
+	default:
+		return false
+	}
+}

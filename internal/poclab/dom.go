@@ -1,0 +1,124 @@
+// Package poclab is the controlled experiment environment of Section 6.4:
+// it validates, for every catalogued version of every library, whether each
+// advisory's proof-of-concept actually triggers — producing the True
+// Vulnerable Version (TVV) ranges that expose understated and overstated
+// CVE reports.
+//
+// The paper did this with 85 browser environments and live PoCs. Offline,
+// poclab substitutes behavioural emulation: a miniature DOM with
+// jQuery-style script-execution semantics, plus per-library emulators whose
+// code paths are conditioned on the libraries' real version history (when a
+// regex was rewritten, when a feature was introduced, when a sanitizer
+// landed). Several vulnerabilities emerge mechanically (the self-closing-tag
+// regex rewrite is applied and the resulting markup genuinely re-parses into
+// an executing node; $.extend really merges a __proto__ key; ReDoS step
+// counts really explode); the rest are conditioned on encoded
+// feature-introduction/fix facts. Either way the experiment *runs* the PoC
+// and observes the effect, so perturbing an emulated behaviour flips the
+// computed TVVs — which is what the tests exercise.
+package poclab
+
+import (
+	"strings"
+
+	"clientres/internal/htmlx"
+)
+
+// DOMNode is one element of the mini-DOM.
+type DOMNode struct {
+	Tag      string
+	Attrs    map[string]string
+	Text     string
+	Children []*DOMNode
+}
+
+// Attr returns an attribute value ("" when absent).
+func (n *DOMNode) Attr(key string) string { return n.Attrs[key] }
+
+// parseFragment builds a node forest from an HTML fragment. Raw-text
+// elements (script/style/...) keep their bodies as Text — markup inside a
+// <style> does NOT become elements, exactly the property the mXSS payloads
+// abuse when a buggy prefilter rewrites the markup first.
+func parseFragment(html string) []*DOMNode {
+	var roots []*DOMNode
+	var stack []*DOMNode
+	push := func(n *DOMNode) {
+		if len(stack) == 0 {
+			roots = append(roots, n)
+		} else {
+			parent := stack[len(stack)-1]
+			parent.Children = append(parent.Children, n)
+		}
+	}
+	z := htmlx.New(html)
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			return roots
+		}
+		switch tok.Kind {
+		case htmlx.StartTagToken, htmlx.SelfClosingTagToken:
+			n := &DOMNode{Tag: tok.Name, Attrs: map[string]string{}}
+			for _, a := range tok.Attrs {
+				n.Attrs[a.Key] = a.Val
+			}
+			push(n)
+			if tok.Kind == htmlx.StartTagToken && !voidElement(tok.Name) {
+				stack = append(stack, n)
+			}
+		case htmlx.EndTagToken:
+			for i := len(stack) - 1; i >= 0; i-- {
+				if stack[i].Tag == tok.Name {
+					stack = stack[:i]
+					break
+				}
+			}
+		case htmlx.TextToken:
+			if len(stack) > 0 {
+				stack[len(stack)-1].Text += tok.Data
+			}
+		}
+	}
+}
+
+func voidElement(name string) bool {
+	switch name {
+	case "img", "br", "hr", "input", "meta", "link", "area", "base",
+		"col", "embed", "param", "source", "track", "wbr":
+		return true
+	}
+	return false
+}
+
+// walk visits every node of a forest depth-first.
+func walk(nodes []*DOMNode, fn func(*DOMNode)) {
+	for _, n := range nodes {
+		fn(n)
+		walk(n.Children, fn)
+	}
+}
+
+// insertHTML models jQuery-style DOM manipulation: unlike bare innerHTML,
+// jQuery's domManip executes <script> elements in inserted markup, and an
+// <img> with a broken src fires its onerror handler. Executed payloads are
+// recorded on the Env.
+func (e *Env) insertHTML(html string) {
+	nodes := parseFragment(html)
+	walk(nodes, func(n *DOMNode) {
+		switch n.Tag {
+		case "script":
+			if body := strings.TrimSpace(n.Text); body != "" {
+				e.recordScript(body)
+			}
+		case "img":
+			if onerror := n.Attr("onerror"); onerror != "" && brokenSrc(n.Attr("src")) {
+				e.recordScript(onerror)
+			}
+		}
+	})
+}
+
+// brokenSrc reports whether an image source fails to load (firing onerror).
+func brokenSrc(src string) bool {
+	return src == "" || src == "x" || strings.HasPrefix(src, "invalid:")
+}

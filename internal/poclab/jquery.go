@@ -1,0 +1,191 @@
+package poclab
+
+import (
+	"regexp"
+	"strings"
+)
+
+// JQuery emulates the jQuery code paths the Table 2 advisories exercise.
+// Each path is conditioned on the library's real version history via
+// Env.in(introduced, fixed).
+type JQuery struct{ env *Env }
+
+// JQuery returns the jQuery emulator for the environment.
+func (e *Env) JQuery() *JQuery { return &JQuery{env: e} }
+
+// selfCloseTag matches XHTML-style self-closing tags the way jQuery's
+// rxhtmlTag did; void elements are exempt from the rewrite as in the
+// original (they are legitimately self-closing).
+var selfCloseTag = regexp.MustCompile(`<([a-zA-Z][\w:-]*)((?:[^>"']|"[^"]*"|'[^']*')*?)/>`)
+
+// htmlPrefilter reproduces jQuery's pre-3.5.0 behaviour of rewriting
+// self-closing tags into open/close pairs: "<style/>" → "<style></style>".
+// The rewrite is what re-arranges raw-text boundaries and mutates markup
+// into executing nodes (the mXSS class of CVE-2020-11022/11023). jQuery
+// 3.5.0 removed it, which is the fix.
+func htmlPrefilter(html string) string {
+	return selfCloseTag.ReplaceAllStringFunc(html, func(m string) string {
+		sub := selfCloseTag.FindStringSubmatch(m)
+		name := sub[1]
+		if voidElement(strings.ToLower(name)) {
+			return m
+		}
+		return "<" + name + sub[2] + "></" + name + ">"
+	})
+}
+
+// HtmlInsert models the general DOM-manipulation entry (.html(), .append(),
+// ...): the buggy prefilter is applied on the version span the paper's
+// experiments established for CVE-2020-11022, then the (possibly rewritten)
+// markup is parsed and inserted with jQuery's script-executing semantics.
+func (q *JQuery) HtmlInsert(html string) {
+	if q.env.in("1.12.0", "3.5.0") {
+		html = htmlPrefilter(html)
+	}
+	q.env.insertHTML(html)
+}
+
+// OptionInsert models passing HTML that contains <option> elements, which
+// routes through jQuery's wrapMap (introduced with 1.4.0) and hits the same
+// prefilter — the CVE-2020-11023 entry point.
+func (q *JQuery) OptionInsert(html string) {
+	if !strings.Contains(strings.ToLower(html), "<option") {
+		q.HtmlInsert(html)
+		return
+	}
+	if q.env.in("1.4.0", "3.5.0") {
+		html = htmlPrefilter(html)
+	}
+	q.env.insertHTML(html)
+}
+
+// Dollar models jQuery(strInput). Before 1.9.0 the string was treated as
+// HTML whenever it contained a '<' anywhere (CVE-2012-6708); from 1.9.0 a
+// string is HTML only when it starts with '<'.
+func (q *JQuery) Dollar(input string) {
+	htmlAnywhere := q.env.in("", "1.9.0")
+	trimmed := strings.TrimSpace(input)
+	isHTML := strings.HasPrefix(trimmed, "<")
+	if htmlAnywhere && strings.Contains(input, "<") {
+		isHTML = true
+	}
+	if !isHTML {
+		return // treated as a selector: no DOM creation
+	}
+	start := strings.Index(input, "<")
+	q.env.insertHTML(input[start:])
+}
+
+// HashSelector models jQuery("#" + location.hash): the rquickExpr of
+// versions before 1.6.3 matched HTML inside the hash token and created
+// nodes from it (CVE-2011-4969).
+func (q *JQuery) HashSelector(hash string) {
+	if !q.env.in("", "1.6.3") {
+		return
+	}
+	if i := strings.Index(hash, "<"); i >= 0 {
+		q.env.insertHTML(hash[i:])
+	}
+}
+
+// DollarProps models jQuery(html, props): the props form forwards an
+// "html" property straight into .html(). The paper's experiments found the
+// unsafe span to be [1.5.0, 2.2.4) (CVE-2014-6071's TVV).
+func (q *JQuery) DollarProps(html string, props map[string]string) {
+	if payload, ok := props["html"]; ok && q.env.in("1.5.0", "2.2.4") {
+		q.env.insertHTML(payload)
+	}
+}
+
+// Load models .load(url) without a selector: the response HTML is inserted
+// wholesale, and on the affected span (< 3.6.0, the TVV the paper
+// established for CVE-2020-7656) embedded scripts execute.
+func (q *JQuery) Load(response string) {
+	if q.env.in("", "3.6.0") {
+		q.env.insertHTML(response)
+		return
+	}
+	// Fixed behaviour strips script elements before insertion.
+	q.env.insertHTML(stripScripts(response))
+}
+
+// AjaxCrossDomain models a cross-domain $.ajax whose response announces a
+// script content type: on the affected span the response is auto-executed
+// (CVE-2015-9251 as disclosed).
+func (q *JQuery) AjaxCrossDomain(contentType, body string) {
+	if !strings.Contains(contentType, "javascript") {
+		return
+	}
+	if q.env.in("1.12.0", "3.0.0") {
+		q.env.recordScript(body)
+	}
+}
+
+// ExtendDeep models jQuery.extend(true, target, source): a genuine
+// recursive merge. Before 3.4.0 a "__proto__" key walks up into
+// Object.prototype (CVE-2019-11358); the fix skips that key.
+func (q *JQuery) ExtendDeep(target, source map[string]any) map[string]any {
+	protoFixed := !q.env.in("", "3.4.0")
+	var merge func(dst, src map[string]any)
+	merge = func(dst, src map[string]any) {
+		for k, v := range src {
+			if k == "__proto__" {
+				if protoFixed {
+					continue
+				}
+				if m, ok := v.(map[string]any); ok {
+					for pk, pv := range m {
+						if s, ok := pv.(string); ok {
+							q.env.polluted[pk] = s
+						}
+					}
+				}
+				continue
+			}
+			if sm, ok := v.(map[string]any); ok {
+				dm, ok := dst[k].(map[string]any)
+				if !ok {
+					dm = map[string]any{}
+					dst[k] = dm
+				}
+				merge(dm, sm)
+				continue
+			}
+			dst[k] = v
+		}
+	}
+	merge(target, source)
+	return target
+}
+
+// Migrate emulates the jQuery-Migrate plugin, which restores removed legacy
+// behaviours on top of a current jQuery.
+type Migrate struct{ env *Env }
+
+// Migrate returns the jQuery-Migrate emulator.
+func (e *Env) Migrate() *Migrate { return &Migrate{env: e} }
+
+// Dollar models jQuery(strInput) with Migrate loaded: the 1.x–2.x plugin
+// line re-enabled the "HTML anywhere in the string" behaviour regardless of
+// the underlying jQuery version; the paper's experiments put the affected
+// span at [1.0.0, 3.0.0).
+func (m *Migrate) Dollar(input string) {
+	if m.env.in("1.0.0", "3.0.0") {
+		if i := strings.Index(input, "<"); i >= 0 {
+			m.env.insertHTML(input[i:])
+			return
+		}
+	}
+	// Without the legacy shim, defer to modern jQuery semantics: HTML only
+	// when the string starts with '<'.
+	if strings.HasPrefix(strings.TrimSpace(input), "<") {
+		m.env.insertHTML(input)
+	}
+}
+
+// stripScripts removes script elements from markup (the fixed .load path).
+var scriptBlock = regexp.MustCompile(`(?is)<script\b.*?</script>`)
+
+func stripScripts(html string) string {
+	return scriptBlock.ReplaceAllString(html, "")
+}

@@ -1,0 +1,314 @@
+package poclab
+
+import (
+	"strings"
+	"testing"
+
+	"clientres/internal/semver"
+	"clientres/internal/vulndb"
+)
+
+func envFor(t *testing.T, slug, ver string) *Env {
+	t.Helper()
+	e, err := NewEnv(slug, semver.MustParse(ver))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestHtmlPrefilterRewrite(t *testing.T) {
+	in := `<style><style/><img src=x onerror=PWN></style>`
+	out := htmlPrefilter(in)
+	if !strings.Contains(out, "<style></style>") {
+		t.Errorf("self-closing style not expanded: %q", out)
+	}
+	// Void elements stay self-closing.
+	if got := htmlPrefilter(`<br/><img src=x/>`); strings.Contains(got, "</br>") || strings.Contains(got, "</img>") {
+		t.Errorf("void element wrongly expanded: %q", got)
+	}
+}
+
+func TestMXSSEmergesFromRewriteOnly(t *testing.T) {
+	payload := `<style><style/><img src=x onerror=PWN></style>`
+	// Vulnerable version: the prefilter rewrite frees the img from the
+	// raw-text style body and it executes.
+	e := envFor(t, "jquery", "1.12.4")
+	e.JQuery().HtmlInsert(payload)
+	if !e.ScriptExecuted("PWN") {
+		t.Error("1.12.4 should execute the mXSS payload")
+	}
+	// Fixed version: no rewrite, the img stays inert inside the style.
+	e2 := envFor(t, "jquery", "3.5.0")
+	e2.JQuery().HtmlInsert(payload)
+	if e2.ScriptExecuted("PWN") {
+		t.Error("3.5.0 must not execute the mXSS payload")
+	}
+	// Pre-1.12 versions wrapped differently and are not affected (the
+	// overstated part of CVE-2020-11022).
+	e3 := envFor(t, "jquery", "1.2.6")
+	e3.JQuery().HtmlInsert(payload)
+	if e3.ScriptExecuted("PWN") {
+		t.Error("1.2.6 must not execute the mXSS payload")
+	}
+}
+
+func TestExtendDeepPollution(t *testing.T) {
+	e := envFor(t, "jquery", "3.3.1")
+	out := e.JQuery().ExtendDeep(map[string]any{"a": 1}, map[string]any{
+		"b":         2,
+		"__proto__": map[string]any{"polluted": "yes"},
+	})
+	if !e.PrototypePolluted("polluted") {
+		t.Error("3.3.1 should be pollutable")
+	}
+	if out["b"] != 2 || out["a"] != 1 {
+		t.Error("merge lost normal keys")
+	}
+	if _, ok := out["__proto__"]; ok {
+		t.Error("__proto__ must not land as a plain key")
+	}
+	e2 := envFor(t, "jquery", "3.4.0")
+	e2.JQuery().ExtendDeep(map[string]any{}, map[string]any{
+		"__proto__": map[string]any{"polluted": "yes"},
+	})
+	if e2.PrototypePolluted("polluted") {
+		t.Error("3.4.0 must not be pollutable")
+	}
+}
+
+func TestLoadScriptExecution(t *testing.T) {
+	resp := `<div><script>PWNLOAD()</script></div>`
+	e := envFor(t, "jquery", "3.5.1") // microsoft.com's version: truly vulnerable
+	e.JQuery().Load(resp)
+	if !e.ScriptExecuted("PWNLOAD") {
+		t.Error("3.5.1 .load should execute scripts (the understated case)")
+	}
+	e2 := envFor(t, "jquery", "3.6.0")
+	e2.JQuery().Load(resp)
+	if e2.ScriptExecuted("PWNLOAD") {
+		t.Error("3.6.0 .load must strip scripts")
+	}
+}
+
+func TestDollarSemantics(t *testing.T) {
+	sel := `#items <img src=x onerror=PWNDOLLAR>`
+	e := envFor(t, "jquery", "1.8.3")
+	e.JQuery().Dollar(sel)
+	if !e.ScriptExecuted("PWNDOLLAR") {
+		t.Error("1.8.3 treats selector strings with HTML as HTML")
+	}
+	e2 := envFor(t, "jquery", "1.9.0")
+	e2.JQuery().Dollar(sel)
+	if e2.ScriptExecuted("PWNDOLLAR") {
+		t.Error("1.9.0 must treat the string as a selector")
+	}
+	// Leading-< strings are HTML on every version.
+	e3 := envFor(t, "jquery", "3.6.0")
+	e3.JQuery().Dollar(`<img src=x onerror=PWNHTML>`)
+	if !e3.ScriptExecuted("PWNHTML") {
+		t.Error("leading-< input is HTML even on fixed versions")
+	}
+}
+
+func TestUnderscoreTemplateInjection(t *testing.T) {
+	evil := "obj=window.INJ()||obj"
+	e := envFor(t, "underscore", "1.8.3")
+	src := e.Underscore().Template("x", evil)
+	if !e.CodeInjected("INJ") || !strings.Contains(src, evil) {
+		t.Error("1.8.3 should splice the variable option verbatim")
+	}
+	e2 := envFor(t, "underscore", "1.12.1")
+	if src := e2.Underscore().Template("x", evil); src != "" || e2.CodeInjected("INJ") {
+		t.Error("1.12.1 must reject non-identifier variables")
+	}
+	e3 := envFor(t, "underscore", "1.2.0")
+	e3.Underscore().Template("x", evil)
+	if e3.CodeInjected("INJ") {
+		t.Error("pre-1.3.2 has no variable option to abuse")
+	}
+	// A legitimate identifier passes on all versions without injection.
+	e4 := envFor(t, "underscore", "1.8.3")
+	if src := e4.Underscore().Template("x", "data"); !strings.Contains(src, "var data") || e4.CodeInjected("data") {
+		t.Error("benign identifier handling broken")
+	}
+}
+
+func TestReDoSStepBlowup(t *testing.T) {
+	// Vulnerable moment duration pattern explodes; fixed one stays linear.
+	e := envFor(t, "moment", "2.10.6")
+	e.Moment().ParseDuration(evilDuration)
+	if !e.DoSObserved() {
+		t.Errorf("2.10.6 duration parse should blow up (steps=%d)", e.Steps())
+	}
+	e2 := envFor(t, "moment", "2.17.0")
+	e2.Moment().ParseDuration(evilDuration)
+	if e2.DoSObserved() {
+		t.Errorf("2.17.0 duration parse should be linear (steps=%d)", e2.Steps())
+	}
+	// Prototype stripTags blows up on every version.
+	for _, v := range []string{"1.4.0", "1.7.1", "1.7.3"} {
+		e3 := envFor(t, "prototype", v)
+		e3.Prototype().StripTags(evilTag)
+		if !e3.DoSObserved() {
+			t.Errorf("prototype %s stripTags should blow up (steps=%d)", v, e3.Steps())
+		}
+	}
+	// Benign input matches quickly even on vulnerable versions.
+	e4 := envFor(t, "moment", "2.10.6")
+	if ok := e4.Moment().ParseDuration("1 2 3 ms"); !ok || e4.DoSObserved() {
+		t.Errorf("benign duration should match fast (ok=%v steps=%d)", ok, e4.Steps())
+	}
+}
+
+func TestBregexBasics(t *testing.T) {
+	cases := []struct {
+		pattern, input string
+		want           bool
+	}{
+		{`abc`, "abc", true},
+		{`abc`, "abd", false},
+		{`a+b`, "aaab", true},
+		{`a*b`, "b", true},
+		{`(a|b)+c`, "ababc", true},
+		{`[a-z]+`, "hello", true},
+		{`[^x]+`, "yyy", true},
+		{`[^x]+`, "x", false},
+		{`\d+`, "123", true},
+		{`a?b`, "b", true},
+		{`<\w+>`, "<div>", true},
+	}
+	for _, c := range cases {
+		ok, _ := matchSteps(c.pattern, c.input, 100000)
+		if ok != c.want {
+			t.Errorf("match(%q, %q) = %v, want %v", c.pattern, c.input, ok, c.want)
+		}
+	}
+}
+
+func TestRunReproducesPaperTVVs(t *testing.T) {
+	findings, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != len(vulndb.Advisories()) {
+		t.Fatalf("findings = %d, want %d", len(findings), len(vulndb.Advisories()))
+	}
+	for _, f := range findings {
+		if !f.MatchesPaper {
+			t.Errorf("%s: computed TVV %s disagrees with the paper's %s",
+				f.Advisory.ID, f.TVV, f.Advisory.EffectiveTrueRange())
+		}
+	}
+}
+
+func TestAccuracyClassifications(t *testing.T) {
+	// The paper labels each incorrect CVE by its *net* direction; several
+	// "understated" rows also raise the floor (1.4.2→1.5.0 for
+	// CVE-2014-6071), which our strict classifier reports as Mixed. The
+	// expectations below accept either where the paper's row is net-
+	// understated but strictly mixed.
+	expect := map[string][]vulndb.Accuracy{
+		"CVE-2020-7656":       {vulndb.Understated},
+		"CVE-2014-6071":       {vulndb.Understated, vulndb.Mixed},
+		"SNYK-JQMIGRATE-2013": {vulndb.Understated, vulndb.Mixed},
+		"CVE-2016-7103":       {vulndb.Understated, vulndb.Mixed},
+		"CVE-2020-11023":      {vulndb.Overstated},
+		"CVE-2020-11022":      {vulndb.Overstated},
+		"CVE-2012-6708":       {vulndb.Overstated},
+		"CVE-2018-20676":      {vulndb.Overstated},
+		"CVE-2018-14040":      {vulndb.Overstated},
+		"CVE-2016-10735":      {vulndb.Overstated},
+		"CVE-2019-11358":      {vulndb.Accurate},
+		"CVE-2019-8331":       {vulndb.Accurate},
+		"CVE-2021-41182":      {vulndb.Accurate},
+		"CVE-2016-4055":       {vulndb.Mixed}, // raised floor AND extended ceiling
+	}
+	for id, wants := range expect {
+		f, err := Run(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := false
+		for _, w := range wants {
+			if f.Accuracy == w {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s accuracy = %v, want one of %v (TVV %s vs CVE %s)",
+				id, f.Accuracy, wants, f.TVV, f.Advisory.CVERange)
+		}
+	}
+}
+
+func TestUnderOverStatedVersionLists(t *testing.T) {
+	f, err := Run("CVE-2020-7656")
+	if err != nil {
+		t.Fatal(err)
+	}
+	under := f.Understated()
+	if len(under) == 0 {
+		t.Fatal("CVE-2020-7656 must have understated versions")
+	}
+	// The paper highlights 1.10.1 and 3.5.1 as vulnerable-but-undisclosed.
+	found := map[string]bool{}
+	for _, v := range under {
+		found[v.Canonical()] = true
+	}
+	if !found["1.10.1"] || !found["3.5.1"] {
+		t.Errorf("understated set missing highlighted versions: %v", under)
+	}
+	f2, err := Run("CVE-2020-11022")
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := f2.Overstated()
+	if len(over) == 0 {
+		t.Fatal("CVE-2020-11022 must have overstated versions")
+	}
+	for _, v := range over {
+		if !v.Less(semver.MustParse("1.12.0")) {
+			t.Errorf("overstated version %s should be below 1.12.0", v)
+		}
+	}
+}
+
+func TestIncorrectCVECountMatchesPaper(t *testing.T) {
+	findings, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	incorrect := 0
+	for _, f := range findings {
+		if f.Accuracy != vulndb.Accurate {
+			incorrect++
+		}
+	}
+	// Section 6.4: 13 of 27 CVEs state incorrect versions (the paper's
+	// caption says 12; our sweep counts every row with any disagreement).
+	if incorrect < 12 || incorrect > 14 {
+		t.Errorf("incorrect CVEs = %d, want 12–14 (paper: 13)", incorrect)
+	}
+}
+
+func TestEnvUnknownLibrary(t *testing.T) {
+	if _, err := NewEnv("no-such-lib", semver.MustParse("1.0")); err == nil {
+		t.Error("unknown library must error")
+	}
+}
+
+func TestCompressIntervals(t *testing.T) {
+	vs := []semver.Version{
+		semver.MustParse("1.0"), semver.MustParse("1.1"),
+		semver.MustParse("2.0"), semver.MustParse("3.0"),
+	}
+	set := compressIntervals(vs, []bool{true, true, false, true})
+	if len(set.Intervals) != 2 {
+		t.Fatalf("intervals = %d: %s", len(set.Intervals), set)
+	}
+	if !set.Contains(semver.MustParse("1.1")) || set.Contains(semver.MustParse("2.0")) ||
+		!set.Contains(semver.MustParse("3.0")) {
+		t.Errorf("interval membership wrong: %s", set)
+	}
+}

@@ -1,0 +1,336 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"clientres/internal/analysis"
+	"clientres/internal/poclab"
+	"clientres/internal/semver"
+	"clientres/internal/vulndb"
+)
+
+// sampleStep is the default series down-sampling for text output
+// (13 weeks ≈ quarterly).
+const sampleStep = 13
+
+// seriesTable prints a down-sampled weekly series table.
+func seriesTable(w io.Writer, title string, weeks int, cols []string, get func(week int) []string) {
+	headers := append([]string{"date"}, cols...)
+	var rows [][]string
+	for wk := 0; wk < weeks; wk += sampleStep {
+		row := append([]string{analysis.WeekDate(wk).Format("2006-01-02")}, get(wk)...)
+		rows = append(rows, row)
+	}
+	Table(w, title, headers, rows)
+}
+
+// Figure2a renders the weekly collected-site counts.
+func Figure2a(w io.Writer, coll *analysis.Collection) {
+	attempted := coll.AttemptedSeries()
+	collected := coll.CollectedSeries()
+	seriesTable(w, "Figure 2a: collected websites per week", len(collected),
+		[]string{"attempted", "collected"}, func(wk int) []string {
+			return []string{num(attempted[wk]), num(collected[wk])}
+		})
+	fmt.Fprintf(w, "mean collected per week: %.0f\n", coll.MeanCollected())
+}
+
+// Figure2b renders the top-8 resource usage shares.
+func Figure2b(w io.Writer, coll *analysis.Collection) {
+	shares := coll.ResourceShares()
+	cols := make([]string, len(shares))
+	for i, s := range shares {
+		cols[i] = s.Resource
+	}
+	seriesTable(w, "Figure 2b: top-8 client-side resource usage (% of collected)",
+		len(shares[0].Weekly), cols, func(wk int) []string {
+			row := make([]string, len(shares))
+			for i, s := range shares {
+				row[i] = pct(s.Weekly[wk])
+			}
+			return row
+		})
+	for _, s := range shares {
+		fmt.Fprintf(w, "mean %-14s %s\n", s.Resource+":", pct(s.Mean))
+	}
+}
+
+// Figure3 renders library usage trends (top 5 and 6–15).
+func Figure3(w io.Writer, libs *analysis.LibraryStats, weeks int) {
+	top5 := []string{"jquery", "jquery-migrate", "bootstrap", "jquery-ui", "modernizr"}
+	rest := []string{"js-cookie", "underscore", "isotope", "popper", "moment",
+		"requirejs", "swfobject", "prototype", "jquery-cookie", "polyfill"}
+	render := func(title string, slugs []string) {
+		series := make(map[string][]float64, len(slugs))
+		for _, s := range slugs {
+			series[s] = libs.UsageSeries(s)
+		}
+		seriesTable(w, title, weeks, slugs, func(wk int) []string {
+			row := make([]string, len(slugs))
+			for i, s := range slugs {
+				row[i] = pct(series[s][wk])
+			}
+			return row
+		})
+	}
+	render("Figure 3a: JavaScript library usage, top 5", top5)
+	render("Figure 3b: JavaScript library usage, top 6-15", rest)
+}
+
+// Figure4 renders the disclosed-vs-true version intervals for one library's
+// advisories (jQuery for Figure 4, the others for Figure 13).
+func Figure4(w io.Writer, findings []poclab.Finding, lib string, title string) {
+	var rows [][]string
+	for _, f := range findings {
+		if f.Advisory.Lib != lib || f.Advisory.TrueRange.IsZero() {
+			continue
+		}
+		rows = append(rows, []string{
+			f.Advisory.ID,
+			f.Advisory.CVERange.String(),
+			f.TVV.String(),
+			versionList(f.Understated()),
+			versionList(f.Overstated()),
+		})
+	}
+	Table(w, title,
+		[]string{"Advisory", "Disclosed range", "Computed TVV", "Understated versions", "Overstated versions"},
+		rows)
+}
+
+func versionList(vs []semver.Version) string {
+	if len(vs) == 0 {
+		return "-"
+	}
+	if len(vs) <= 4 {
+		s := ""
+		for i, v := range vs {
+			if i > 0 {
+				s += " "
+			}
+			s += v.String()
+		}
+		return s
+	}
+	return fmt.Sprintf("%s .. %s (%d versions)", vs[0], vs[len(vs)-1], len(vs))
+}
+
+// Figure5 renders affected-site counts over time, CVE vs TVV ranges, for
+// the jQuery advisories the paper plots (Figure 5) — Figure14 does the same
+// for the other libraries.
+func Figure5(w io.Writer, vuln *analysis.VulnPrevalence, weeks int, ids []string, title string) {
+	cols := make([]string, 0, len(ids)*2)
+	type pair struct{ cve, tvv []int }
+	series := map[string]pair{}
+	for _, id := range ids {
+		c, t := vuln.AdvisorySeries(id)
+		series[id] = pair{c, t}
+		cols = append(cols, id+" CVE", id+" TVV")
+	}
+	seriesTable(w, title, weeks, cols, func(wk int) []string {
+		var row []string
+		for _, id := range ids {
+			p := series[id]
+			row = append(row, num(p.cve[wk]), num(p.tvv[wk]))
+		}
+		return row
+	})
+}
+
+// Figure6 renders the usage trend of the top affected versions of a CVE
+// (Figure 6 uses jQuery CVE-2020-7656's top versions).
+func Figure6(w io.Writer, libs *analysis.LibraryStats, weeks int) {
+	versions := []string{"1.8.3", "1.7.2", "1.7.1", "1.8.2", "1.9.0"}
+	series := map[string][]int{}
+	for _, v := range versions {
+		series[v] = libs.VersionSeries("jquery", v)
+	}
+	seriesTable(w, "Figure 6: usage of versions around CVE-2020-7656 (affected < 1.9.0, patched 1.9.0)",
+		weeks, versions, func(wk int) []string {
+			row := make([]string, len(versions))
+			for i, v := range versions {
+				row[i] = num(series[v][wk])
+			}
+			return row
+		})
+}
+
+// Figure7 renders jQuery 1.12.4 vs the patched 3.5+ line, overall (7a) and
+// WordPress-associated (7b).
+func Figure7(w io.Writer, libs *analysis.LibraryStats, weeks int) {
+	versions := []string{"1.12.4", "3.5.0", "3.5.1", "3.6.0", "1.11.3"}
+	all := map[string][]int{}
+	wp := map[string][]int{}
+	for _, v := range versions {
+		all[v] = libs.VersionSeries("jquery", v)
+		wp[v] = libs.VersionSeriesWordPress("jquery", v)
+	}
+	seriesTable(w, "Figure 7a: jQuery 1.12.4 vs patched-version usage", weeks, versions,
+		func(wk int) []string {
+			row := make([]string, len(versions))
+			for i, v := range versions {
+				row[i] = num(all[v][wk])
+			}
+			return row
+		})
+	wpVers := []string{"1.12.4", "3.5.1", "3.6.0"}
+	seriesTable(w, "Figure 7b: WordPress-associated jQuery versions", weeks, wpVers,
+		func(wk int) []string {
+			row := make([]string, len(wpVers))
+			for i, v := range wpVers {
+				row[i] = num(wp[v][wk])
+			}
+			return row
+		})
+}
+
+// Figure8 renders the Flash usage decline across rank bands.
+func Figure8(w io.Writer, flash *analysis.Flash, weeks int) {
+	all, top10k, top1k := flash.UsageSeries()
+	seriesTable(w, "Figure 8: Adobe Flash usage (all domains, top-1% band, top-0.1% band)",
+		weeks, []string{"all", "top-1%", "top-0.1%"}, func(wk int) []string {
+			return []string{num(all[wk]), num(top10k[wk]), num(top1k[wk])}
+		})
+	fmt.Fprintf(w, "mean Flash sites after EOL (Jan 2021): %.0f\n", flash.MeanPostEOL())
+
+	// The Section 8 case study: top-band post-EOL holdouts.
+	holdouts := flash.TopBandHoldouts()
+	if len(holdouts) > 0 {
+		var rows [][]string
+		for i, h := range holdouts {
+			if i >= 15 {
+				break
+			}
+			vis := "invisible (off-page leftover)"
+			if h.Visible {
+				vis = "visible"
+			}
+			rows = append(rows, []string{h.Domain, num(h.Rank), h.Country, vis})
+		}
+		Table(w, "Section 8 case study: top-band websites still embedding Flash after EOL",
+			[]string{"Website", "Rank", "Country", "Flash content"}, rows)
+		v, inv := flash.HoldoutVisibility()
+		fmt.Fprintf(w, "visible vs invisible holdouts: %d vs %d (paper: 6 vs 7 of 13)\n", v, inv)
+	}
+}
+
+// Figure9 renders WordPress usage.
+func Figure9(w io.Writer, wp *analysis.WordPress, weeks int) {
+	all, wps := wp.UsageSeries()
+	seriesTable(w, "Figure 9: WordPress usage", weeks, []string{"all sites", "WordPress"},
+		func(wk int) []string { return []string{num(all[wk]), num(wps[wk])} })
+	fmt.Fprintf(w, "mean WordPress share: %s\n", pct(wp.MeanShare()))
+}
+
+// Figure10 renders the Subresource Integrity series.
+func Figure10(w io.Writer, sri *analysis.SRI, weeks int) {
+	missing, covered := sri.SRISeries()
+	seriesTable(w, "Figure 10: sites with >=1 external library lacking integrity vs fully covered",
+		weeks, []string{"no integrity", "integrity"}, func(wk int) []string {
+			return []string{num(missing[wk]), num(covered[wk])}
+		})
+	fmt.Fprintf(w, "mean share with >=1 uncovered external library: %s\n", pct(sri.MissingSRIShare()))
+	fmt.Fprintf(w, "crossorigin among integrity users: %v\n", sri.CrossoriginShares())
+	withSnippet := vulndb.LibrariesWithSRISnippet()
+	fmt.Fprintf(w, "official sites providing an integrity snippet: %d of %d top libraries (",
+		len(withSnippet), len(vulndb.Libraries()))
+	for i, l := range withSnippet {
+		if i > 0 {
+			fmt.Fprint(w, ", ")
+		}
+		fmt.Fprint(w, l.Name)
+	}
+	fmt.Fprintln(w, ")")
+}
+
+// Figure11 renders the AllowScriptAccess series.
+func Figure11(w io.Writer, flash *analysis.Flash, weeks int) {
+	all, param, always := flash.ScriptAccessSeries()
+	seriesTable(w, "Figure 11: AllowScriptAccess parameter and insecure 'always' option",
+		weeks, []string{"flash sites", "param used", "always"}, func(wk int) []string {
+			return []string{num(all[wk]), num(param[wk]), num(always[wk])}
+		})
+	fmt.Fprintf(w, "mean insecure ('always') share of Flash sites: %s\n", pct(flash.MeanInsecureShare()))
+}
+
+// Figure12 renders the vulnerability-count CDF under both rulesets.
+func Figure12(w io.Writer, vuln *analysis.VulnPrevalence) {
+	cve := vuln.VulnCDF(false)
+	tvv := vuln.VulnCDF(true)
+	tvvAt := map[int]float64{}
+	for _, p := range tvv {
+		tvvAt[p.Count] = p.CDF
+	}
+	var rows [][]string
+	last := 0.0
+	for _, p := range cve {
+		t, ok := tvvAt[p.Count]
+		if !ok {
+			t = last
+		}
+		last = t
+		rows = append(rows, []string{num(p.Count), f2(p.CDF), f2(t)})
+	}
+	Table(w, "Figure 12: CDF of vulnerabilities per page (CVE vs TVV ranges)",
+		[]string{"#vulns", "CDF (CVE)", "CDF (TVV)"}, rows)
+	fmt.Fprintf(w, "mean vulnerabilities per page: CVE %.2f, TVV %.2f\n",
+		vuln.MeanVulnsPerSite(false), vuln.MeanVulnsPerSite(true))
+}
+
+// Figure13 renders the CVV/TVV interval comparison for the non-jQuery
+// libraries.
+func Figure13(w io.Writer, findings []poclab.Finding) {
+	for _, lib := range []string{"moment", "jquery-migrate", "jquery-ui", "bootstrap", "prototype"} {
+		Figure4(w, findings, lib, "Figure 13: disclosed vs true vulnerable versions — "+lib)
+	}
+}
+
+// Figure14 is Figure 5 for the non-jQuery advisories with incorrect CVEs.
+func Figure14(w io.Writer, vuln *analysis.VulnPrevalence, weeks int) {
+	Figure5(w, vuln, weeks, []string{
+		"SNYK-JQMIGRATE-2013", "CVE-2016-10735", "CVE-2018-20676",
+		"CVE-2016-7103", "CVE-2016-4055", "CVE-2020-27511",
+	}, "Figure 14: affected sites over time, CVE vs TVV ranges (non-jQuery advisories)")
+}
+
+// Figure15 renders the top-5 affected version trends for Bootstrap,
+// Prototype, and jQuery-UI.
+func Figure15(w io.Writer, libs *analysis.LibraryStats, weeks int) {
+	for _, slug := range []string{"bootstrap", "prototype", "jquery-ui"} {
+		versions := libs.TopVersions(slug, 5)
+		series := map[string][]int{}
+		for _, v := range versions {
+			series[v] = libs.VersionSeries(slug, v)
+		}
+		seriesTable(w, "Figure 15: top-5 version usage — "+slug, weeks, versions,
+			func(wk int) []string {
+				row := make([]string, len(versions))
+				for i, v := range versions {
+					row[i] = num(series[v][wk])
+				}
+				return row
+			})
+	}
+}
+
+// Headlines prints the paper's headline findings as measured on this
+// dataset, for EXPERIMENTS.md-style comparison.
+func Headlines(w io.Writer, vuln *analysis.VulnPrevalence, delay *analysis.UpdateDelay,
+	sri *analysis.SRI, flash *analysis.Flash, disc *analysis.Discontinued) {
+	fmt.Fprintf(w, "\n== Headline findings (measured vs paper) ==\n")
+	fmt.Fprintf(w, "vulnerable sites (CVE ranges):  %s   (paper: 41.2%%)\n", pct(vuln.MeanVulnerableShare(false)))
+	fmt.Fprintf(w, "vulnerable sites (TVV ranges):  %s   (paper: 43.2%%)\n", pct(vuln.MeanVulnerableShare(true)))
+	fmt.Fprintf(w, "mean vulns/page CVE vs TVV:     %.2f vs %.2f  (paper: 0.79 vs 0.97)\n",
+		vuln.MeanVulnsPerSite(false), vuln.MeanVulnsPerSite(true))
+	resCVE := delay.Result(false, false)
+	resTVV := delay.Result(true, true)
+	fmt.Fprintf(w, "update delay (CVE ranges):      %.1f days over %d updated windows (paper: 531.2 days, 25,337 sites)\n",
+		resCVE.MeanDays, resCVE.Updated)
+	fmt.Fprintf(w, "update delay (TVV, understated CVEs): %.1f days (paper: 701.2 days)\n", resTVV.MeanDays)
+	fmt.Fprintf(w, "sites with >=1 ext lib w/o SRI: %s   (paper: 99.7%%)\n", pct(sri.MissingSRIShare()))
+	fmt.Fprintf(w, "Flash sites after EOL:          %.0f   (paper: 3,553 of 1M)\n", flash.MeanPostEOL())
+	fmt.Fprintf(w, "insecure AllowScriptAccess:     %s   (paper: 24.7%%)\n", pct(flash.MeanInsecureShare()))
+	ever, migrated := disc.MigrationStats()
+	fmt.Fprintf(w, "jquery-cookie users migrated:   %d of %d (paper: 39%% over 7 years)\n", migrated, ever)
+}

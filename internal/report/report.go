@@ -1,0 +1,74 @@
+// Package report renders the study's tables and figures as aligned text
+// tables and CSV series — one renderer per table/figure of the paper, fed
+// by the analysis collectors and the poclab experiment.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table writes an aligned text table with a title.
+func Table(w io.Writer, title string, headers []string, rows [][]string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			parts[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+// CSV writes a minimal CSV (fields are known not to contain commas or
+// quotes — dates, numbers, identifiers).
+func CSV(w io.Writer, headers []string, rows [][]string) {
+	fmt.Fprintln(w, strings.Join(headers, ","))
+	for _, row := range rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// pct renders a fraction as a percentage cell.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// num renders an integer cell.
+func num(n int) string { return fmt.Sprintf("%d", n) }
+
+// f1 renders a float with one decimal.
+func f1(f float64) string { return fmt.Sprintf("%.1f", f) }
+
+// f2 renders a float with two decimals.
+func f2(f float64) string { return fmt.Sprintf("%.2f", f) }

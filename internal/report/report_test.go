@@ -1,0 +1,133 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"clientres/internal/analysis"
+	"clientres/internal/poclab"
+	"clientres/internal/webgen"
+)
+
+// buildSmall runs a small pipeline for rendering tests.
+func buildSmall(t *testing.T) (*webgen.Ecosystem, *analysis.Collection, *analysis.LibraryStats,
+	*analysis.VulnPrevalence, *analysis.UpdateDelay, *analysis.SRI, *analysis.Flash,
+	*analysis.WordPress, *analysis.Discontinued) {
+	t.Helper()
+	eco := webgen.New(webgen.Config{Domains: 600, Weeks: 60, Seed: 4})
+	weeks := eco.Cfg.Weeks
+	coll := analysis.NewCollection(weeks)
+	libs := analysis.NewLibraryStats(weeks)
+	vuln := analysis.NewVulnPrevalence(weeks)
+	delay := analysis.NewUpdateDelay(weeks)
+	sri := analysis.NewSRI(weeks)
+	flash := analysis.NewFlash(weeks, eco.Cfg.Domains)
+	wp := analysis.NewWordPress(weeks)
+	disc := analysis.NewDiscontinued(weeks)
+	analysis.TruthSource{Eco: eco}.Run(analysis.NewRunner(coll, libs, vuln, delay, sri, flash, wp, disc))
+	return eco, coll, libs, vuln, delay, sri, flash, wp, disc
+}
+
+func TestTableRendering(t *testing.T) {
+	var b strings.Builder
+	Table(&b, "demo", []string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	out := b.String()
+	if !strings.Contains(out, "== demo ==") || !strings.Contains(out, "333") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	var b strings.Builder
+	CSV(&b, []string{"x", "y"}, [][]string{{"1", "2"}})
+	if b.String() != "x,y\n1,2\n" {
+		t.Errorf("csv = %q", b.String())
+	}
+}
+
+func TestAllRenderersProduceOutput(t *testing.T) {
+	eco, coll, libs, vuln, delay, sri, flash, wp, disc := buildSmall(t)
+	weeks := eco.Cfg.Weeks
+	findings, err := poclab.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	Table1(&b, libs.Table1())
+	Table2(&b, findings, vuln)
+	Table3(&b)
+	Table4(&b, wp.Table4())
+	Table5(&b, libs)
+	Table6(&b, sri)
+	Figure2a(&b, coll)
+	Figure2b(&b, coll)
+	Figure3(&b, libs, weeks)
+	Figure4(&b, findings, "jquery", "Figure 4: jQuery disclosed vs true vulnerable versions")
+	Figure5(&b, vuln, weeks, []string{"CVE-2020-7656", "CVE-2014-6071", "CVE-2020-11022"},
+		"Figure 5: affected sites, jQuery advisories")
+	Figure6(&b, libs, weeks)
+	Figure7(&b, libs, weeks)
+	Figure8(&b, flash, weeks)
+	Figure9(&b, wp, weeks)
+	Figure10(&b, sri, weeks)
+	Figure11(&b, flash, weeks)
+	Figure12(&b, vuln)
+	Figure13(&b, findings)
+	Figure14(&b, vuln, weeks)
+	Figure15(&b, libs, weeks)
+	Headlines(&b, vuln, delay, sri, flash, disc)
+
+	out := b.String()
+	for _, want := range []string{
+		"Table 1:", "Table 2:", "Table 3:", "Table 4:", "Table 5:", "Table 6",
+		"Figure 2a", "Figure 2b", "Figure 3a", "Figure 3b", "Figure 4",
+		"Figure 5", "Figure 6", "Figure 7a", "Figure 7b", "Figure 8",
+		"Figure 9", "Figure 10", "Figure 11", "Figure 12", "Figure 13",
+		"Figure 14", "Figure 15", "Headline findings",
+		"jQuery", "CVE-2020-7656", "360 Browser", "understated",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if len(out) < 5000 {
+		t.Errorf("combined report suspiciously small: %d bytes", len(out))
+	}
+}
+
+func TestTable2MarksAccuracy(t *testing.T) {
+	findings, err := poclab.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	Table2(&b, findings, nil)
+	out := b.String()
+	for _, want := range []string{"understated", "overstated", "accurate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing accuracy class %q", want)
+		}
+	}
+}
+
+func TestFigure4ShowsUnderstatedVersions(t *testing.T) {
+	findings, err := poclab.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	Figure4(&b, findings, "jquery", "Figure 4")
+	out := b.String()
+	if !strings.Contains(out, "CVE-2020-7656") {
+		t.Error("Figure 4 missing CVE-2020-7656")
+	}
+	// The headline understatement: versions up to 3.5.1 are vulnerable.
+	if !strings.Contains(out, "3.5.1") {
+		t.Errorf("Figure 4 should surface understated versions up to 3.5.1:\n%s", out)
+	}
+}

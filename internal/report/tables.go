@@ -1,0 +1,132 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"clientres/internal/analysis"
+	"clientres/internal/poclab"
+	"clientres/internal/vulndb"
+)
+
+// Table1 renders the top-15 library landscape (paper Table 1).
+func Table1(w io.Writer, rows []analysis.Table1Row) {
+	var out [][]string
+	for _, r := range rows {
+		name := r.Name
+		if r.Discontinued {
+			name += " (discontinued)"
+		}
+		out = append(out, []string{
+			name, pct(r.MeanUsage), pct(r.InternalPct), pct(r.ExternalPct),
+			pct(r.CDNPct), num(r.VersionsFound), num(r.TotalVersions),
+			r.Dominant + " (" + pct(r.DominantPct) + ")", r.LatestSeen,
+			num(r.VulnCount),
+		})
+	}
+	Table(w, "Table 1: Top 15 JavaScript library usage, inclusion type, versions, vulnerabilities",
+		[]string{"Library", "Usage", "Int.", "Ext.", "CDN", "Found", "Total", "Dominant", "Latest", "#Vul"},
+		out)
+}
+
+// Table2 renders the advisory validation results (paper Table 2): the
+// CVE-stated range, the poclab-computed TVV, the measured affected-site
+// averages under both rulesets, and the accuracy classification.
+func Table2(w io.Writer, findings []poclab.Finding, vuln *analysis.VulnPrevalence) {
+	var out [][]string
+	for _, f := range findings {
+		a := f.Advisory
+		patched := "N/A"
+		if !a.Patched.IsZero() {
+			patched = a.Patched.String()
+		}
+		tvvCell := "-"
+		if !a.TrueRange.IsZero() {
+			tvvCell = f.TVV.String()
+		}
+		cveSites := "-"
+		tvvSites := "-"
+		if vuln != nil {
+			cveSites = f1(vuln.MeanAffected(a.ID, false))
+			tvvSites = f1(vuln.MeanAffected(a.ID, true))
+		}
+		out = append(out, []string{
+			a.Lib, a.ID, a.CVERange.String(), cveSites, tvvCell, tvvSites,
+			patched, a.Disclosed.Format("2006-01-02"), string(a.Attack),
+			f.Accuracy.String(),
+		})
+	}
+	Table(w, "Table 2: Vulnerabilities of top-15 libraries — CVE ranges vs True Vulnerable Versions",
+		[]string{"Library", "Advisory", "CVE range", "#Sites", "TVV (computed)", "#Sites(TVV)",
+			"Patched", "Disclosed", "Attack", "CVE accuracy"},
+		out)
+}
+
+// Table3 renders the browser Flash-support matrix (paper Table 3; encoded
+// dataset — see DESIGN.md on the simulation boundary).
+func Table3(w io.Writer) {
+	var out [][]string
+	for _, b := range vulndb.Browsers() {
+		support := "N"
+		if b.SupportsFlash {
+			support = "Y"
+		}
+		out = append(out, []string{b.Name, fmt.Sprintf("%.2f%%", b.MarketSharePC), support, b.Engine})
+	}
+	Table(w, "Table 3: Top-10 desktop browsers, market share, Flash support",
+		[]string{"Browser", "Share", "Flash", "Engine"}, out)
+}
+
+// Table4 renders the WordPress CVE exposure (paper Table 4).
+func Table4(w io.Writer, rows []analysis.Table4Row) {
+	var out [][]string
+	for _, r := range rows {
+		a := r.Advisory
+		out = append(out, []string{
+			a.ID, a.Disclosed.Format("2006-01-02"), a.Range.String(),
+			a.Patched.String(), a.PatchDate.Format("2006-01-02"),
+			f1(r.MeanAffected),
+		})
+	}
+	Table(w, "Table 4: Top-10 disclosed CVEs for WordPress",
+		[]string{"CVE", "Disclosed", "Affected", "Patched", "Patch date", "Mean #sites"}, out)
+}
+
+// Table5 renders the top CDNs per library (paper Table 5).
+func Table5(w io.Writer, libs *analysis.LibraryStats) {
+	var out [][]string
+	for _, lib := range vulndb.Libraries() {
+		hosts := libs.TopHosts(lib.Slug, 3)
+		for i, hc := range hosts {
+			name := ""
+			if i == 0 {
+				name = lib.Name
+			}
+			out = append(out, []string{name, hc.Host, pct(hc.Share)})
+		}
+	}
+	Table(w, "Table 5: Top 3 external hosts per JavaScript library",
+		[]string{"Library", "Host", "Share of ext."}, out)
+}
+
+// Table6 renders the version-control-hosted inclusions (paper Table 6).
+func Table6(w io.Writer, sri *analysis.SRI) {
+	var out [][]string
+	for _, site := range sri.TopVCSites(25) {
+		for i, host := range site.Hosts {
+			d, r := "", ""
+			if i == 0 {
+				d, r = site.Domain, num(site.Rank)
+			}
+			out = append(out, []string{d, r, host})
+		}
+	}
+	Table(w, "Table 6 (left): top-ranked sites loading libraries from version-control hosts",
+		[]string{"Website", "Rank", "Host"}, out)
+	var agg [][]string
+	for _, hc := range sri.TopVCHosts(15) {
+		agg = append(agg, []string{hc.Host, num(hc.Count)})
+	}
+	Table(w, "Table 6 (right): most-used version-control hosts",
+		[]string{"Host", "Inclusions"}, agg)
+}

@@ -1,0 +1,172 @@
+// Package store persists crawl observations.
+//
+// The paper's dataset is 157.2M landing pages over 201 weeks; keeping
+// observations as raw HTML would be enormous, so the pipeline reduces every
+// page to an Observation — the facts the analyses consume — and stores them
+// as gzip-compressed JSON lines, one observation per line, ordered by week.
+// Readers stream; nothing requires the dataset to fit in memory.
+package store
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// LibRecord is one detected library inclusion on a page.
+type LibRecord struct {
+	Slug    string `json:"slug"`
+	Version string `json:"version,omitempty"`
+	Known   bool   `json:"known,omitempty"`
+	// External marks remote inclusion; Host is the serving host then.
+	External bool   `json:"ext,omitempty"`
+	Host     string `json:"host,omitempty"`
+	// SRI marks an integrity attribute; Crossorigin its companion value.
+	SRI         bool   `json:"sri,omitempty"`
+	Crossorigin string `json:"crossorigin,omitempty"`
+}
+
+// FlashRecord is the Flash embedding state of a page.
+type FlashRecord struct {
+	ScriptAccessParam bool `json:"sap,omitempty"`
+	Always            bool `json:"always,omitempty"`
+	ViaSWFObject      bool `json:"swfobject,omitempty"`
+	// Visible is false when every Flash embed is hidden/off-screen.
+	Visible bool `json:"visible,omitempty"`
+}
+
+// ResourceFlags marks which of the top-8 resource types a page used.
+type ResourceFlags struct {
+	JavaScript   bool `json:"js,omitempty"`
+	CSS          bool `json:"css,omitempty"`
+	Favicon      bool `json:"favicon,omitempty"`
+	ImportedHTML bool `json:"imported,omitempty"`
+	XML          bool `json:"xml,omitempty"`
+	SVG          bool `json:"svg,omitempty"`
+	Flash        bool `json:"flash,omitempty"`
+	AXD          bool `json:"axd,omitempty"`
+}
+
+// Observation is everything recorded about one (domain, week) fetch.
+type Observation struct {
+	Domain string `json:"domain"`
+	Rank   int    `json:"rank"`
+	Week   int    `json:"week"`
+	// Status is the HTTP status; 0 records a connection-level failure.
+	Status int `json:"status"`
+	// Bytes is the page size — the paper's 400-byte empty-page filter
+	// needs it.
+	Bytes int `json:"bytes"`
+	// Country is the operator country (used by the Flash case study).
+	Country string `json:"country,omitempty"`
+
+	HasJS     bool          `json:"hasjs,omitempty"`
+	WordPress string        `json:"wordpress,omitempty"`
+	Libs      []LibRecord   `json:"libs,omitempty"`
+	Flash     *FlashRecord  `json:"flashinfo,omitempty"`
+	Resources ResourceFlags `json:"resources,omitempty"`
+}
+
+// OK reports whether the fetch produced a usable page: HTTP 200 and above
+// the paper's 400-byte empty-page threshold.
+func (o Observation) OK() bool { return o.Status == 200 && o.Bytes >= 400 }
+
+// Lib returns the record for a library slug, if present.
+func (o Observation) Lib(slug string) (LibRecord, bool) {
+	for _, l := range o.Libs {
+		if l.Slug == slug {
+			return l, true
+		}
+	}
+	return LibRecord{}, false
+}
+
+// Writer streams observations to a gzip JSONL file.
+type Writer struct {
+	f   *os.File
+	gz  *gzip.Writer
+	buf *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// Create opens a new observation file, truncating any existing one.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	gz := gzip.NewWriter(f)
+	buf := bufio.NewWriterSize(gz, 1<<16)
+	return &Writer{f: f, gz: gz, buf: buf, enc: json.NewEncoder(buf)}, nil
+}
+
+// Write appends one observation.
+func (w *Writer) Write(obs Observation) error {
+	w.n++
+	return w.enc.Encode(obs)
+}
+
+// Count returns the number of observations written so far.
+func (w *Writer) Count() int { return w.n }
+
+// Close flushes and closes the file.
+func (w *Writer) Close() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	keep(w.buf.Flush())
+	keep(w.gz.Close())
+	keep(w.f.Close())
+	return first
+}
+
+// ForEach streams every observation of a file to fn, in file order. fn
+// returning an error aborts the scan with that error.
+func ForEach(path string, fn func(Observation) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return fmt.Errorf("store: %s: %w", path, err)
+	}
+	defer gz.Close()
+	return decodeStream(gz, fn)
+}
+
+func decodeStream(r io.Reader, fn func(Observation) error) error {
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<16))
+	for {
+		var obs Observation
+		if err := dec.Decode(&obs); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if err := fn(obs); err != nil {
+			return err
+		}
+	}
+}
+
+// ReadAll loads a whole observation file into memory. Intended for tests
+// and small datasets; large runs should use ForEach.
+func ReadAll(path string) ([]Observation, error) {
+	var out []Observation
+	err := ForEach(path, func(o Observation) error {
+		out = append(out, o)
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,218 @@
+package vulndb
+
+import (
+	"time"
+
+	"clientres/internal/semver"
+)
+
+// rs parses a range literal at init time.
+func rs(expr string) semver.RangeSet { return semver.MustParseRange(expr) }
+
+// advisories encodes Table 2 of the paper row by row: the CVE-disclosed
+// affected range, the True Vulnerable Version range the paper established
+// with PoC experiments (zero where Table 2 shows "–"), the patched version
+// and dates, and the attack type.
+//
+// Dates are as printed in Table 2 (M/D/Y). Two quirks of the table are kept
+// faithfully: CVE-2020-7656 and CVE-2014-6071 have patch dates *before*
+// their disclosure dates (the fixing release predates the CVE), and the
+// jQuery-Migrate issue has no CVE ID (identified via Snyk/GitHub).
+var advisories = []Advisory{
+	// --- jQuery (8) ---
+	{
+		ID: "CVE-2020-7656", Lib: "jquery",
+		CVERange: rs("< 1.9.0"), TrueRange: rs("< 3.6.0"),
+		Patched:   semver.MustParse("1.9.0"),
+		Disclosed: d(2020, time.May, 19), PatchDate: d(2013, time.January, 15),
+		Attack: AttackXSS, HasPoC: true,
+	},
+	{
+		ID: "CVE-2020-11023", Lib: "jquery",
+		CVERange: rs("1.0.3 ~ 3.5.0"), TrueRange: rs("1.4.0 ~ 3.5.0"),
+		Patched:   semver.MustParse("3.5.0"),
+		Disclosed: d(2020, time.April, 10), PatchDate: d(2020, time.April, 10),
+		Attack: AttackXSS, Conditional: true,
+	},
+	{
+		ID: "CVE-2020-11022", Lib: "jquery",
+		CVERange: rs("1.2.0 ~ 3.5.0"), TrueRange: rs("1.12.0 ~ 3.5.0"),
+		Patched:   semver.MustParse("3.5.0"),
+		Disclosed: d(2020, time.April, 29), PatchDate: d(2020, time.April, 10),
+		Attack: AttackXSS, Conditional: true,
+	},
+	{
+		ID: "CVE-2019-11358", Lib: "jquery",
+		CVERange:  rs("< 3.4.0"),
+		Patched:   semver.MustParse("3.4.0"),
+		Disclosed: d(2019, time.March, 26), PatchDate: d(2019, time.April, 10),
+		Attack: AttackPrototypePollution,
+	},
+	{
+		ID: "CVE-2015-9251", Lib: "jquery",
+		CVERange:  rs("1.12.0 ~ 3.0.0"),
+		Patched:   semver.MustParse("3.0.0"),
+		Disclosed: d(2015, time.June, 26), PatchDate: d(2016, time.June, 9),
+		Attack: AttackXSS,
+	},
+	{
+		ID: "CVE-2014-6071", Lib: "jquery",
+		CVERange: rs("1.4.2 ~ 1.6.2"), TrueRange: rs("1.5.0 ~ 2.2.4"),
+		Patched:   semver.MustParse("1.6.2"),
+		Disclosed: d(2014, time.September, 1), PatchDate: d(2011, time.June, 30),
+		Attack: AttackXSS, HasPoC: true,
+	},
+	{
+		ID: "CVE-2012-6708", Lib: "jquery",
+		CVERange: rs("< 1.9.1"), TrueRange: rs("< 1.9.0"),
+		Patched:   semver.MustParse("1.9.1"),
+		Disclosed: d(2012, time.June, 19), PatchDate: d(2013, time.February, 4),
+		Attack: AttackXSS,
+	},
+	{
+		ID: "CVE-2011-4969", Lib: "jquery",
+		CVERange:  rs("< 1.6.3"),
+		Patched:   semver.MustParse("1.6.3"),
+		Disclosed: d(2011, time.June, 5), PatchDate: d(2011, time.September, 1),
+		Attack: AttackXSS,
+	},
+	// --- Bootstrap (7) ---
+	{
+		ID: "CVE-2019-8331", Lib: "bootstrap",
+		CVERange:  rs("< 3.4.1, >= 4.0.0 < 4.3.1"),
+		Patched:   semver.MustParse("4.3.1"),
+		Disclosed: d(2019, time.February, 11), PatchDate: d(2019, time.February, 13),
+		Attack: AttackXSS,
+	},
+	{
+		ID: "CVE-2018-20676", Lib: "bootstrap",
+		CVERange: rs("< 3.4.0"), TrueRange: rs("3.2.0 ~ 3.4.0"),
+		Patched:   semver.MustParse("3.4.0"),
+		Disclosed: d(2018, time.August, 13), PatchDate: d(2018, time.December, 13),
+		Attack: AttackXSS, HasPoC: true,
+	},
+	{
+		ID: "CVE-2018-20677", Lib: "bootstrap",
+		CVERange: rs("< 3.4.0"), TrueRange: rs("3.2.0 ~ 3.4.0"),
+		Patched:   semver.MustParse("3.4.0"),
+		Disclosed: d(2019, time.January, 9), PatchDate: d(2018, time.December, 13),
+		Attack: AttackXSS, HasPoC: true,
+	},
+	{
+		ID: "CVE-2018-14042", Lib: "bootstrap",
+		CVERange: rs("< 4.1.2"), TrueRange: rs("2.3.0 ~ 4.1.2"),
+		Patched:   semver.MustParse("4.1.2"),
+		Disclosed: d(2018, time.May, 29), PatchDate: d(2018, time.July, 12),
+		Attack: AttackXSS,
+	},
+	{
+		ID: "CVE-2018-14041", Lib: "bootstrap",
+		CVERange:  rs("< 4.1.2"),
+		Patched:   semver.MustParse("4.1.2"),
+		Disclosed: d(2018, time.May, 29), PatchDate: d(2018, time.July, 12),
+		Attack: AttackXSS,
+	},
+	{
+		ID: "CVE-2018-14040", Lib: "bootstrap",
+		CVERange: rs("< 4.1.2"), TrueRange: rs("2.3.0 ~ 4.1.2"),
+		Patched:   semver.MustParse("4.1.2"),
+		Disclosed: d(2018, time.May, 29), PatchDate: d(2018, time.July, 12),
+		Attack: AttackXSS, HasPoC: true,
+	},
+	{
+		ID: "CVE-2016-10735", Lib: "bootstrap",
+		CVERange: rs("< 3.4.0"), TrueRange: rs("2.1.0 ~ 3.4.0"),
+		Patched:   semver.MustParse("3.4.0"),
+		Disclosed: d(2016, time.June, 27), PatchDate: d(2018, time.December, 13),
+		Attack: AttackXSS, HasPoC: true,
+	},
+	// --- jQuery-Migrate (1, no CVE ID assigned) ---
+	{
+		ID: "SNYK-JQMIGRATE-2013", Lib: "jquery-migrate",
+		CVERange: rs("< 1.2.1"), TrueRange: rs("1.0.0 ~ 3.0.0"),
+		Patched:   semver.MustParse("1.2.1"),
+		Disclosed: d(2013, time.April, 18), PatchDate: d(2007, time.September, 16),
+		Attack: AttackXSS, HasPoC: true,
+	},
+	// --- jQuery-UI (6) ---
+	{
+		ID: "CVE-2010-5312", Lib: "jquery-ui",
+		CVERange:  rs("< 1.10.0"),
+		Patched:   semver.MustParse("1.10.0"),
+		Disclosed: d(2010, time.September, 2), PatchDate: d(2013, time.January, 17),
+		Attack: AttackXSS,
+	},
+	{
+		ID: "CVE-2012-6662", Lib: "jquery-ui",
+		CVERange:  rs("< 1.10.0"),
+		Patched:   semver.MustParse("1.10.0"),
+		Disclosed: d(2012, time.November, 26), PatchDate: d(2013, time.January, 17),
+		Attack: AttackXSS,
+	},
+	{
+		ID: "CVE-2016-7103", Lib: "jquery-ui",
+		CVERange: rs("< 1.12.0"), TrueRange: rs("1.10.0 ~ 1.13.0"),
+		Patched:   semver.MustParse("1.12.0"),
+		Disclosed: d(2016, time.July, 21), PatchDate: d(2016, time.July, 8),
+		Attack: AttackXSS, HasPoC: true,
+	},
+	{
+		ID: "CVE-2021-41182", Lib: "jquery-ui",
+		CVERange:  rs("< 1.13.0"),
+		Patched:   semver.MustParse("1.13.0"),
+		Disclosed: d(2021, time.October, 27), PatchDate: d(2021, time.October, 7),
+		Attack: AttackXSS,
+	},
+	{
+		ID: "CVE-2021-41183", Lib: "jquery-ui",
+		CVERange:  rs("< 1.13.0"),
+		Patched:   semver.MustParse("1.13.0"),
+		Disclosed: d(2021, time.October, 27), PatchDate: d(2021, time.October, 7),
+		Attack: AttackXSS,
+	},
+	{
+		ID: "CVE-2021-41184", Lib: "jquery-ui",
+		CVERange:  rs("< 1.13.0"),
+		Patched:   semver.MustParse("1.13.0"),
+		Disclosed: d(2021, time.October, 27), PatchDate: d(2021, time.October, 7),
+		Attack: AttackXSS,
+	},
+	// --- Underscore (1) ---
+	{
+		ID: "CVE-2021-23358", Lib: "underscore",
+		CVERange:  rs("1.3.2 ~ 1.12.1"),
+		Patched:   semver.MustParse("1.12.1"),
+		Disclosed: d(2021, time.March, 2), PatchDate: d(2021, time.March, 19),
+		Attack: AttackCodeInjection,
+	},
+	// --- Moment.js (2) ---
+	{
+		ID: "CVE-2017-18214", Lib: "moment",
+		CVERange:  rs("< 2.19.3"),
+		Patched:   semver.MustParse("2.19.3"),
+		Disclosed: d(2017, time.September, 5), PatchDate: d(2017, time.November, 29),
+		Attack: AttackResourceExhaustion,
+	},
+	{
+		ID: "CVE-2016-4055", Lib: "moment",
+		CVERange: rs("< 2.11.2"), TrueRange: rs("2.8.1 ~ 2.15.2"),
+		Patched:   semver.MustParse("2.11.2"),
+		Disclosed: d(2016, time.January, 26), PatchDate: d(2016, time.February, 7),
+		Attack: AttackResourceExhaustion,
+	},
+	// --- Prototype (2) ---
+	{
+		ID: "CVE-2020-27511", Lib: "prototype",
+		CVERange: rs("<= 1.7.3"), TrueRange: rs("*"),
+		// No patched version exists; the fix PR from 2021 is still unmerged.
+		Disclosed: d(2021, time.June, 21),
+		Attack:    AttackReDoS,
+	},
+	{
+		ID: "CVE-2020-7993", Lib: "prototype",
+		CVERange: rs("< 1.6.0.1"),
+		// Affected version is no longer available; no patch tracked.
+		Disclosed: d(2020, time.February, 3),
+		Attack:    AttackMissingAuth,
+	},
+}

@@ -1,0 +1,446 @@
+package webgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"clientres/internal/semver"
+)
+
+func testEco(t *testing.T, n int) *Ecosystem {
+	t.Helper()
+	return New(Config{Domains: n, Seed: 1})
+}
+
+func TestWeekDate(t *testing.T) {
+	if got := WeekDate(0); got.Year() != 2018 || got.Month() != time.March {
+		t.Errorf("week 0 = %v", got)
+	}
+	// 201 weeks later lands in early 2022 (the paper's Feb 2022 end).
+	end := WeekDate(StudyWeeks - 1)
+	if end.Year() != 2022 || end.Month() != time.January {
+		t.Errorf("last week = %v, want Jan/Feb 2022", end)
+	}
+	if WeekOf(WeekDate(57)) != 57 {
+		t.Error("WeekOf(WeekDate(w)) != w")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(Config{Domains: 300, Seed: 9})
+	b := New(Config{Domains: 300, Seed: 9})
+	for i := range a.Sites {
+		ta, tb := a.Truth(i, 57), b.Truth(i, 57)
+		if len(ta.Libs) != len(tb.Libs) || ta.Status != tb.Status {
+			t.Fatalf("site %d differs across identical configs", i)
+		}
+		ha, _ := a.PageHTML(i, 100)
+		hb, _ := b.PageHTML(i, 100)
+		if ha != hb {
+			t.Fatalf("site %d HTML differs across identical configs", i)
+		}
+	}
+}
+
+func TestRenderStableAcrossWeeks(t *testing.T) {
+	// The same site must keep its structural URL style week over week so
+	// that version changes are the only diffs.
+	e := testEco(t, 50)
+	for i := range e.Sites {
+		t0 := e.Truth(i, 0)
+		t1 := e.Truth(i, 1)
+		if !t0.Accessible || !t1.Accessible {
+			continue
+		}
+		h0, _ := e.PageHTML(i, 0)
+		h1, _ := e.PageHTML(i, 1)
+		// Strip version digits crudely: pages should have the same number
+		// of script tags when truth agrees.
+		if strings.Count(h0, "<script") != strings.Count(h1, "<script") &&
+			len(t0.Libs) == len(t1.Libs) && len(t0.Tail) == len(t1.Tail) {
+			t.Errorf("site %d script count changed without truth change", i)
+		}
+	}
+}
+
+func TestUsageCalibration(t *testing.T) {
+	e := testEco(t, 6000)
+	week := 0
+	counts := map[string]int{}
+	accessible := 0
+	for i := range e.Sites {
+		tr := e.Truth(i, week)
+		if !tr.Accessible {
+			continue
+		}
+		accessible++
+		for _, l := range tr.Libs {
+			counts[l.Slug]++
+		}
+	}
+	if accessible == 0 {
+		t.Fatal("no accessible sites")
+	}
+	check := func(slug string, want, tol float64) {
+		got := float64(counts[slug]) / float64(accessible)
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s usage = %.3f, want %.3f ± %.3f", slug, got, want, tol)
+		}
+	}
+	check("jquery", 0.64, 0.05)
+	check("bootstrap", 0.215, 0.04)
+	check("jquery-ui", 0.122, 0.04)
+	check("modernizr", 0.095, 0.03)
+	// jQuery-Migrate at week 0: WordPress sites bundling it plus
+	// standalone users — near its 20.8 % average.
+	check("jquery-migrate", 0.208, 0.06)
+}
+
+func TestJavaScriptAndWordPressShares(t *testing.T) {
+	e := testEco(t, 6000)
+	js, wp, accessible := 0, 0, 0
+	for i := range e.Sites {
+		tr := e.Truth(i, 10)
+		if !tr.Accessible {
+			continue
+		}
+		accessible++
+		if tr.HasJS {
+			js++
+		}
+		if !tr.WordPress.IsZero() {
+			wp++
+		}
+	}
+	jsFrac := float64(js) / float64(accessible)
+	wpFrac := float64(wp) / float64(accessible)
+	if jsFrac < 0.90 || jsFrac > 0.985 {
+		t.Errorf("JS usage = %.3f, want ~0.947", jsFrac)
+	}
+	if wpFrac < 0.22 || wpFrac > 0.32 {
+		t.Errorf("WordPress share = %.3f, want ~0.269", wpFrac)
+	}
+}
+
+func TestAccessibilityRate(t *testing.T) {
+	e := testEco(t, 4000)
+	total, ok := 0, 0
+	for _, w := range []int{0, 50, 100, 150, 200} {
+		for i := range e.Sites {
+			total++
+			if e.Truth(i, w).Accessible {
+				ok++
+			}
+		}
+	}
+	frac := float64(ok) / float64(total)
+	// The paper collected on average 78.2 % of the 1M each week.
+	if frac < 0.70 || frac > 0.86 {
+		t.Errorf("accessible fraction = %.3f, want ~0.78", frac)
+	}
+}
+
+func TestMigrateDropWindow(t *testing.T) {
+	// Figure 3a: jQuery-Migrate usage drops ~10 points between Sep 2020
+	// and Dec 2020 (WordPress 5.5 window) and recovers after 5.6.
+	e := testEco(t, 6000)
+	frac := func(week int) float64 {
+		n, acc := 0, 0
+		for i := range e.Sites {
+			tr := e.Truth(i, week)
+			if !tr.Accessible {
+				continue
+			}
+			acc++
+			if _, ok := tr.Lib("jquery-migrate"); ok {
+				n++
+			}
+		}
+		return float64(n) / float64(acc)
+	}
+	before := frac(WeekOf(time.Date(2020, 7, 6, 0, 0, 0, 0, time.UTC)))
+	during := frac(WeekOf(time.Date(2020, 11, 2, 0, 0, 0, 0, time.UTC)))
+	after := frac(WeekOf(time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)))
+	if before-during < 0.04 {
+		t.Errorf("migrate drop too small: before %.3f during %.3f", before, during)
+	}
+	if after-during < 0.04 {
+		t.Errorf("migrate recovery too small: during %.3f after %.3f", during, after)
+	}
+}
+
+func TestWordPressJQueryJump(t *testing.T) {
+	// Figure 7: jQuery 3.5.1 share jumps after Dec 2020 while 1.12.4 falls.
+	e := testEco(t, 6000)
+	share := func(week int, ver string) float64 {
+		v := semver.MustParse(ver)
+		n, acc := 0, 0
+		for i := range e.Sites {
+			tr := e.Truth(i, week)
+			if !tr.Accessible {
+				continue
+			}
+			acc++
+			if l, ok := tr.Lib("jquery"); ok && l.Version.Equal(v) {
+				n++
+			}
+		}
+		return float64(n) / float64(acc)
+	}
+	wNov20 := WeekOf(time.Date(2020, 11, 2, 0, 0, 0, 0, time.UTC))
+	wMar21 := WeekOf(time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC))
+	if jump := share(wMar21, "3.5.1") - share(wNov20, "3.5.1"); jump < 0.05 {
+		t.Errorf("3.5.1 jump = %.3f, want ≥ 0.05", jump)
+	}
+	if drop := share(wNov20, "1.12.4") - share(wMar21, "1.12.4"); drop < 0.05 {
+		t.Errorf("1.12.4 drop = %.3f, want ≥ 0.05", drop)
+	}
+	// 1.12.4 is dominant early in the study.
+	if s := share(10, "1.12.4"); s < 0.10 {
+		t.Errorf("early 1.12.4 share = %.3f, want ≥ 0.10", s)
+	}
+}
+
+func TestVersionsNeverDowngrade(t *testing.T) {
+	e := testEco(t, 400)
+	for i := range e.Sites {
+		site := e.Sites[i]
+		regressing := map[string]bool{}
+		for _, use := range site.Libs {
+			if use.Regress {
+				regressing[use.Slug] = true
+			}
+		}
+		prev := map[string]semver.Version{}
+		for w := 0; w < e.Cfg.Weeks; w += 13 {
+			tr := e.Truth(i, w)
+			if !tr.Accessible {
+				continue
+			}
+			for _, l := range tr.Libs {
+				if l.Slug == "jquery-migrate" {
+					continue // WP 5.5→5.6 legitimately swaps 1.4.1→(gone)→3.3.2
+				}
+				if regressing[l.Slug] {
+					continue // roll-back behaviour is deliberate (Section 9)
+				}
+				if p, ok := prev[l.Slug]; ok && l.Version.Less(p) {
+					t.Errorf("site %d %s downgraded %s -> %s at week %d",
+						i, l.Slug, p, l.Version, w)
+				}
+				prev[l.Slug] = l.Version
+			}
+		}
+	}
+}
+
+func TestRegressionsOccurAndRevert(t *testing.T) {
+	e := testEco(t, 6000)
+	observedRollback := 0
+	for i := range e.Sites {
+		site := e.Sites[i]
+		for _, use := range site.Libs {
+			if !use.Regress || use.ManagedByWP {
+				continue
+			}
+			// Scan weekly for a downgrade followed by a re-upgrade.
+			var prev semver.Version
+			downAt, upAfter := -1, -1
+			for w := 0; w < e.Cfg.Weeks; w++ {
+				tr := e.Truth(i, w)
+				if !tr.Accessible {
+					continue
+				}
+				l, ok := tr.Lib(use.Slug)
+				if !ok {
+					continue
+				}
+				if !prev.IsZero() && l.Version.Less(prev) && downAt < 0 {
+					downAt = w
+				}
+				if downAt >= 0 && prev.Less(l.Version) {
+					upAfter = w
+				}
+				prev = l.Version
+			}
+			if downAt >= 0 {
+				observedRollback++
+				if upAfter < 0 {
+					// Re-update may fall past the study end; allowed.
+					continue
+				}
+				if upAfter <= downAt {
+					t.Errorf("site %d %s: re-update at %d not after rollback at %d",
+						i, use.Slug, upAfter, downAt)
+				}
+			}
+		}
+	}
+	if observedRollback == 0 {
+		t.Error("no regression rollbacks observed in a 6000-site population")
+	}
+}
+
+func TestFlashDecline(t *testing.T) {
+	e := testEco(t, 20000)
+	count := func(week int) int {
+		n := 0
+		for i := range e.Sites {
+			tr := e.Truth(i, week)
+			if tr.Accessible && tr.Flash != nil {
+				n++
+			}
+		}
+		return n
+	}
+	start := count(0)
+	eol := count(WeekOf(time.Date(2020, 12, 28, 0, 0, 0, 0, time.UTC)))
+	end := count(StudyWeeks - 1)
+	if start == 0 {
+		t.Fatal("no Flash sites at start")
+	}
+	// Figure 8: 9,880 → 4,218 → 3,195 of 1M, i.e. ratios ~0.43 and ~0.32.
+	eolRatio := float64(eol) / float64(start)
+	endRatio := float64(end) / float64(start)
+	if eolRatio < 0.30 || eolRatio > 0.60 {
+		t.Errorf("Flash EOL ratio = %.2f (start %d, eol %d), want ~0.43", eolRatio, start, eol)
+	}
+	if endRatio < 0.20 || endRatio > 0.50 {
+		t.Errorf("Flash end ratio = %.2f, want ~0.32", endRatio)
+	}
+	if endRatio >= eolRatio+0.05 {
+		t.Error("Flash usage should not grow after EOL")
+	}
+}
+
+func TestRenderedPageContainsDeclaredResources(t *testing.T) {
+	e := testEco(t, 200)
+	for i := range e.Sites {
+		tr := e.Truth(i, 30)
+		if !tr.Accessible {
+			continue
+		}
+		html, status := e.PageHTML(i, 30)
+		if status != 200 {
+			t.Fatalf("site %d accessible but status %d", i, status)
+		}
+		if len(html) < 400 {
+			t.Errorf("site %d page only %d bytes (under the paper's empty threshold)", i, len(html))
+		}
+		for _, l := range tr.Libs {
+			if l.External {
+				if !strings.Contains(html, l.Host) {
+					t.Errorf("site %d: external %s host %s missing from HTML", i, l.Slug, l.Host)
+				}
+				continue
+			}
+			if !strings.Contains(html, l.Version.String()) {
+				t.Errorf("site %d: internal %s version %s missing from HTML", i, l.Slug, l.Version)
+			}
+		}
+		if tr.Flash != nil && !strings.Contains(html, ".swf") {
+			t.Errorf("site %d: Flash declared but no .swf in HTML", i)
+		}
+		if tr.Flash != nil && tr.Flash.Always && !strings.Contains(html, "always") {
+			t.Errorf("site %d: AllowScriptAccess always missing", i)
+		}
+		if !tr.WordPress.IsZero() && !strings.Contains(html, "WordPress "+tr.WordPress.String()) {
+			t.Errorf("site %d: WP generator meta missing", i)
+		}
+	}
+}
+
+func TestDeadAndAntiBotPages(t *testing.T) {
+	e := testEco(t, 2000)
+	foundDead, foundAntiBot, foundTransient := false, false, false
+	for i := range e.Sites {
+		s := e.Sites[i]
+		if s.DeadFromWeek >= 0 {
+			foundDead = true
+			_, status := e.PageHTML(i, s.DeadFromWeek)
+			if status != 0 {
+				t.Errorf("dead site %d returned status %d", i, status)
+			}
+		}
+		if s.AntiBot && s.DeadFromWeek != 0 {
+			tr := e.Truth(i, 0)
+			if tr.Status == 200 && tr.EmptyPage {
+				foundAntiBot = true
+				html, _ := e.PageHTML(i, 0)
+				if len(html) >= 400 {
+					t.Errorf("anti-bot page %d bytes, want < 400", len(html))
+				}
+			}
+		}
+		tr := e.Truth(i, 5)
+		if tr.Status >= 400 || tr.Status == 500 || tr.Status == 503 {
+			foundTransient = true
+		}
+	}
+	if !foundDead || !foundAntiBot || !foundTransient {
+		t.Errorf("expected dead/antibot/transient sites: %v %v %v",
+			foundDead, foundAntiBot, foundTransient)
+	}
+}
+
+func TestJQueryCookieMigration(t *testing.T) {
+	e := testEco(t, 20000)
+	migrated := 0
+	for i := range e.Sites {
+		for _, use := range e.Sites[i].Libs {
+			if use.Slug == "jquery-cookie" && use.SwitchTo == "js-cookie" {
+				migrated++
+				// After the drop week the truth must show js-cookie.
+				if use.DropWeek < e.Cfg.Weeks {
+					tr := e.Truth(i, use.DropWeek)
+					if tr.Accessible {
+						if _, ok := tr.Lib("js-cookie"); !ok {
+							t.Errorf("site %d: migration at week %d did not surface js-cookie", i, use.DropWeek)
+						}
+						if _, ok := tr.Lib("jquery-cookie"); ok {
+							t.Errorf("site %d: jquery-cookie still present after migration", i)
+						}
+					}
+				}
+			}
+		}
+	}
+	if migrated == 0 {
+		t.Error("no jquery-cookie → js-cookie migrations generated")
+	}
+}
+
+func TestSRIScarcity(t *testing.T) {
+	e := testEco(t, 8000)
+	sitesWithExt, sitesAllSRI := 0, 0
+	for i := range e.Sites {
+		tr := e.Truth(i, 0)
+		if !tr.Accessible {
+			continue
+		}
+		ext, missing := 0, 0
+		for _, l := range tr.Libs {
+			if l.External {
+				ext++
+				if !l.SRI {
+					missing++
+				}
+			}
+		}
+		if ext > 0 {
+			sitesWithExt++
+			if missing == 0 {
+				sitesAllSRI++
+			}
+		}
+	}
+	if sitesWithExt == 0 {
+		t.Fatal("no sites with external libraries")
+	}
+	// 99.7 % of sites have ≥1 external library without integrity.
+	frac := 1 - float64(sitesAllSRI)/float64(sitesWithExt)
+	if frac < 0.95 {
+		t.Errorf("missing-SRI site fraction = %.3f, want ≥ 0.95 (~0.997)", frac)
+	}
+}

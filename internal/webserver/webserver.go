@@ -1,0 +1,107 @@
+// Package webserver serves the synthetic web ecosystem over real HTTP.
+//
+// The paper's crawler fetched live landing pages with net/http; this server
+// is the other end of that wire for the reproduction. Each generated domain
+// is addressable at /w/{week}/{domain}/ so a single listener can serve every
+// site at every snapshot week. Dead domains abort the TCP connection (the
+// closest stand-in for NXDOMAIN/refused), flaky weeks answer with their
+// 4xx/5xx status, and anti-bot sites return the paper's observed
+// HTTP-200-but-"Not allowed" page.
+package webserver
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"clientres/internal/webgen"
+)
+
+// Server serves one ecosystem.
+type Server struct {
+	eco *webgen.Ecosystem
+	// index maps domain name to site index.
+	index map[string]int
+	// Latency, when non-zero, delays every response — useful for crawler
+	// timeout tests.
+	Latency time.Duration
+}
+
+// New builds a Server for an ecosystem.
+func New(eco *webgen.Ecosystem) *Server {
+	idx := make(map[string]int, len(eco.Sites))
+	for i, s := range eco.Sites {
+		idx[s.Domain.Name] = i
+	}
+	return &Server{eco: eco, index: idx}
+}
+
+// PageURL returns the request path serving a domain at a snapshot week.
+func PageURL(week int, domain string) string {
+	return fmt.Sprintf("/w/%d/%s/", week, domain)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.Latency > 0 {
+		time.Sleep(s.Latency)
+	}
+	week, domain, ok := parsePath(r.URL.Path)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	i, ok := s.index[domain]
+	if !ok {
+		// Unknown domain: behave like a dead host.
+		abort(w)
+		return
+	}
+	if week < 0 || week >= s.eco.Cfg.Weeks {
+		http.Error(w, "week out of range", http.StatusBadRequest)
+		return
+	}
+	html, status := s.eco.PageHTML(i, week)
+	if status == 0 {
+		abort(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(status)
+	_, _ = w.Write([]byte(html))
+}
+
+// abort drops the connection without an HTTP response, simulating a dead
+// domain (refused connection / NXDOMAIN).
+func abort(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		// Fall back to a bare 502 when hijacking is unavailable.
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	if tcp, ok := conn.(*net.TCPConn); ok {
+		_ = tcp.SetLinger(0) // RST instead of FIN: reads fail immediately
+	}
+	_ = conn.Close()
+}
+
+// parsePath splits "/w/{week}/{domain}/" into its parts.
+func parsePath(path string) (week int, domain string, ok bool) {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	if len(parts) < 3 || parts[0] != "w" {
+		return 0, "", false
+	}
+	week, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, "", false
+	}
+	return week, parts[2], true
+}

@@ -1,0 +1,107 @@
+package webserver
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"clientres/internal/webgen"
+)
+
+func TestParsePath(t *testing.T) {
+	cases := []struct {
+		path   string
+		week   int
+		domain string
+		ok     bool
+	}{
+		{"/w/0/news1.com/", 0, "news1.com", true},
+		{"/w/200/shop2.org", 200, "shop2.org", true},
+		{"/w/x/news1.com/", 0, "", false},
+		{"/nope", 0, "", false},
+		{"/w/3", 0, "", false},
+	}
+	for _, c := range cases {
+		week, domain, ok := parsePath(c.path)
+		if ok != c.ok || (ok && (week != c.week || domain != c.domain)) {
+			t.Errorf("parsePath(%q) = (%d, %q, %v), want (%d, %q, %v)",
+				c.path, week, domain, ok, c.week, c.domain, c.ok)
+		}
+	}
+}
+
+func TestServesPages(t *testing.T) {
+	eco := webgen.New(webgen.Config{Domains: 120, Seed: 2})
+	srv := httptest.NewServer(New(eco))
+	defer srv.Close()
+
+	served := 0
+	for i := range eco.Sites {
+		tr := eco.Truth(i, 10)
+		if !tr.Accessible {
+			continue
+		}
+		resp, err := http.Get(srv.URL + PageURL(10, eco.Sites[i].Domain.Name))
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+			t.Errorf("content type = %q", ct)
+		}
+		if !strings.Contains(string(body), eco.Sites[i].Domain.Name) {
+			t.Errorf("body does not mention its domain")
+		}
+		served++
+		if served > 20 {
+			break
+		}
+	}
+	if served == 0 {
+		t.Fatal("no pages served")
+	}
+}
+
+func TestUnknownDomainAborts(t *testing.T) {
+	eco := webgen.New(webgen.Config{Domains: 10, Seed: 2})
+	srv := httptest.NewServer(New(eco))
+	defer srv.Close()
+	_, err := http.Get(srv.URL + PageURL(0, "no-such-domain.example"))
+	if err == nil {
+		t.Error("unknown domain should abort the connection")
+	}
+}
+
+func TestWeekOutOfRange(t *testing.T) {
+	eco := webgen.New(webgen.Config{Domains: 10, Seed: 2})
+	srv := httptest.NewServer(New(eco))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + PageURL(9999, eco.Sites[0].Domain.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestBadPath404(t *testing.T) {
+	eco := webgen.New(webgen.Config{Domains: 10, Seed: 2})
+	srv := httptest.NewServer(New(eco))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
