@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race bench check fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# check is the full verification gate: vet + build + race tests + short
+# fuzz smoke runs (FUZZTIME=3s by default; override: make check FUZZTIME=30s).
+check:
+	FUZZTIME=$(FUZZTIME) sh scripts/check.sh
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzTokenize$$' -fuzztime 3s ./internal/htmlx
+	$(GO) test -run '^$$' -fuzz '^FuzzParseVersion$$' -fuzztime 3s ./internal/semver
+	$(GO) test -run '^$$' -fuzz '^FuzzRange$$' -fuzztime 3s ./internal/semver

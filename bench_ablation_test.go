@@ -7,7 +7,9 @@ package clientres
 //   - the naive-backtracking ReDoS engine's step growth with input size
 //     (why a step budget, not wall-clock, is the DoS signal),
 //   - ground-truth collection vs rendering+fingerprinting (why the direct
-//     path exists for large populations).
+//     path exists for large populations),
+//   - shard count for the parallel collection pipeline (speedup scales with
+//     available cores; results are byte-identical at every shard count).
 
 import (
 	"context"
@@ -16,6 +18,7 @@ import (
 	"testing"
 
 	"clientres/internal/analysis"
+	"clientres/internal/core"
 	"clientres/internal/crawler"
 	"clientres/internal/fingerprint"
 	"clientres/internal/poclab"
@@ -77,6 +80,26 @@ func BenchmarkAblationMultiPass(b *testing.B) {
 		replay(obs, analysis.NewSRI(weeks))
 		replay(obs, analysis.NewFlash(weeks, benchDomains))
 		replay(obs, analysis.NewWordPress(weeks))
+	}
+}
+
+// BenchmarkAblationShards runs the direct collection pipeline at different
+// shard counts over one generated population. Sharding parallelizes both
+// the ground-truth resolution and the collector folds; the merge at the end
+// is O(aggregate size), so the speedup approaches the core count while the
+// report stays byte-identical (proven by the shard equivalence tests).
+func BenchmarkAblationShards(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(context.Background(), core.Config{
+					Domains: 1500, Weeks: 12, Seed: 7,
+					SkipPoC: true, Shards: shards,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -45,6 +45,10 @@ type Config struct {
 	Crawl bool
 	// Workers bounds crawl concurrency.
 	Workers int
+	// Shards parallelizes the analysis pipeline across domain-hash
+	// partitions (default 1 = serial). Sharded runs produce byte-identical
+	// reports to serial runs of the same configuration.
+	Shards int
 	// StorePath, when set, persists observations as gzip JSONL.
 	StorePath string
 	// Progress receives one line per collected week, when set.
@@ -66,7 +70,7 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	}
 	inner, err := core.Run(ctx, core.Config{
 		Domains: cfg.Domains, Weeks: cfg.Weeks, Seed: cfg.Seed,
-		Mode: mode, Workers: cfg.Workers,
+		Mode: mode, Workers: cfg.Workers, Shards: cfg.Shards,
 		StorePath: cfg.StorePath, Progress: cfg.Progress,
 	})
 	if err != nil {

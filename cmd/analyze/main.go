@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	analyze -in observations.jsonl.gz -weeks 201 -domains 20000
+//	analyze -in observations.jsonl.gz -weeks 201 -domains 20000 -shards 8
 package main
 
 import (
@@ -20,9 +20,10 @@ func main() {
 	in := flag.String("in", "observations.jsonl.gz", "input observation file")
 	weeks := flag.Int("weeks", webgen.StudyWeeks, "snapshot weeks in the dataset")
 	domains := flag.Int("domains", 20000, "ranked population size of the dataset")
+	shards := flag.Int("shards", 1, "parallel analysis shards (results identical to -shards 1)")
 	flag.Parse()
 
-	res, err := core.RunFromStore(*in, *weeks, *domains)
+	res, err := core.RunFromStore(*in, *weeks, *domains, *shards)
 	if err != nil {
 		log.Fatalf("analyze: %v", err)
 	}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	crawl -domains 2000 -weeks 50 -workers 64 -out crawl.jsonl.gz
+//	crawl -domains 2000 -weeks 50 -workers 64 -shards 4 -out crawl.jsonl.gz
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 	weeks := flag.Int("weeks", webgen.StudyWeeks, "number of weekly snapshots")
 	seed := flag.Int64("seed", 1, "generation seed")
 	workers := flag.Int("workers", 64, "concurrent crawler workers")
+	shards := flag.Int("shards", 1, "parallel fingerprint/analysis shards (results identical to -shards 1)")
 	out := flag.String("out", "crawl.jsonl.gz", "output path (gzip JSONL)")
 	flag.Parse()
 
@@ -33,7 +34,7 @@ func main() {
 
 	cfg := core.Config{
 		Domains: *domains, Weeks: *weeks, Seed: *seed,
-		Mode: core.ModeCrawl, Workers: *workers,
+		Mode: core.ModeCrawl, Workers: *workers, Shards: *shards,
 		StorePath: *out, SkipPoC: true,
 		Progress: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -19,6 +19,18 @@ import (
 
 // Collector consumes observations and accumulates one experiment's
 // aggregates.
+//
+// Every collector in this package additionally has a Merge(other) method
+// combining the aggregates of two collectors of the same study shape into
+// the receiver. Merge exists for sharded collection: partition the
+// observation stream BY DOMAIN across shards, give each shard a private
+// collector, and merge the shards afterwards — the result is identical to
+// a single collector observing the whole stream. Domain-disjoint shards
+// are the contract: the stateful collectors (UpdateDelay, Discontinued,
+// Regressions, and the per-domain extrema elsewhere) keep per-domain state
+// machines that only merge exactly when each domain's history lives
+// entirely inside one shard. The merge_test.go property suite asserts this
+// equivalence on randomized streams for every collector.
 type Collector interface {
 	// Name identifies the collector in reports.
 	Name() string
@@ -72,6 +84,56 @@ type weekSeries struct {
 func newWeekSeries() *weekSeries { return &weekSeries{counts: map[int]int{}} }
 
 func (s *weekSeries) add(week, n int) { s.counts[week] += n }
+
+// merge folds another series' counts into s.
+func (s *weekSeries) merge(o *weekSeries) {
+	for w, n := range o.counts {
+		s.counts[w] += n
+	}
+}
+
+// mergeSeriesMap folds a map of lazily-created weekSeries into dst,
+// creating missing entries.
+func mergeSeriesMap(dst, src map[string]*weekSeries) {
+	for k, os := range src {
+		ds := dst[k]
+		if ds == nil {
+			ds = newWeekSeries()
+			dst[k] = ds
+		}
+		ds.merge(os)
+	}
+}
+
+// mergeCounts adds src's counters into dst.
+func mergeCounts(dst, src map[string]int) {
+	for k, n := range src {
+		dst[k] += n
+	}
+}
+
+// mergeHist adds src's histogram buckets into dst.
+func mergeHist(dst, src map[int]int) {
+	for k, n := range src {
+		dst[k] += n
+	}
+}
+
+// mergeSets unions src into dst.
+func mergeSets(dst, src map[string]bool) {
+	for k := range src {
+		dst[k] = true
+	}
+}
+
+// mergeMinRank keeps the best (lowest) rank per key.
+func mergeMinRank(dst, src map[string]int) {
+	for k, r := range src {
+		if cur, ok := dst[k]; !ok || r < cur {
+			dst[k] = r
+		}
+	}
+}
 
 // Series materializes weeks [0, weeks) as a slice.
 func (s *weekSeries) Series(weeks int) []int {

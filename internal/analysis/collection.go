@@ -50,6 +50,21 @@ func (c *Collection) Observe(obs store.Observation) {
 	mark(c.axd, r.AXD)
 }
 
+// Merge folds another Collection's aggregates into c. The two collectors
+// must have observed disjoint shards of the same study (see Collector).
+func (c *Collection) Merge(o *Collection) {
+	c.attempted.merge(o.attempted)
+	c.collected.merge(o.collected)
+	c.js.merge(o.js)
+	c.css.merge(o.css)
+	c.favicon.merge(o.favicon)
+	c.imported.merge(o.imported)
+	c.xml.merge(o.xml)
+	c.svg.merge(o.svg)
+	c.flash.merge(o.flash)
+	c.axd.merge(o.axd)
+}
+
 // CollectedSeries returns the weekly count of usable pages (Figure 2a).
 func (c *Collection) CollectedSeries() []int { return c.collected.Series(c.weeks) }
 

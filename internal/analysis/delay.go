@@ -110,6 +110,32 @@ func (u *UpdateDelay) step(domain, advID string, tvv, affected bool, patchDate, 
 	}
 }
 
+// Merge folds another UpdateDelay's state into u. Exact when the two
+// collectors observed disjoint domain sets (the sharding contract, see
+// Collector): each (domain, advisory) state machine then lives wholly in
+// one of the two. Overlapping keys cannot be replayed and resolve by a
+// deterministic, commutative rule: a closed window wins over an open one,
+// then the earlier window start, then the shorter delay.
+func (u *UpdateDelay) Merge(o *UpdateDelay) {
+	for key, os := range o.states {
+		st := u.states[key]
+		if st == nil {
+			cp := *os
+			u.states[key] = &cp
+			continue
+		}
+		switch {
+		case os.updated && !st.updated:
+			*st = *os
+		case os.updated == st.updated:
+			if os.affectedSince.Before(st.affectedSince) ||
+				(os.affectedSince.Equal(st.affectedSince) && os.delayDays < st.delayDays) {
+				*st = *os
+			}
+		}
+	}
+}
+
 // Result summarizes the window of vulnerability under one ruleset.
 type DelayResult struct {
 	// Updated is the number of (site, advisory) windows that closed.

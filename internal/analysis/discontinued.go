@@ -65,6 +65,17 @@ func (d *Discontinued) Observe(obs store.Observation) {
 	}
 }
 
+// Merge folds another Discontinued's aggregates into d. The two collectors
+// must have observed disjoint shards of the same study (see Collector):
+// the jQuery-Cookie → JS-Cookie migration tracker is a per-domain state
+// machine that only merges exactly under domain-disjoint sharding.
+func (d *Discontinued) Merge(o *Discontinued) {
+	d.collected.merge(o.collected)
+	mergeSeriesMap(d.usage, o.usage)
+	mergeSets(d.everJQCookie, o.everJQCookie)
+	mergeSets(d.migrated, o.migrated)
+}
+
 // MeanUsage returns the average weekly usage share of a discontinued
 // library.
 func (d *Discontinued) MeanUsage(slug string) float64 {

@@ -94,6 +94,36 @@ func (f *Flash) Observe(obs store.Observation) {
 	}
 }
 
+// Merge folds another Flash's aggregates into f. The two collectors must
+// have observed disjoint shards of the same study (see Collector): the
+// per-domain holdout records carry last-observation state that only merges
+// exactly when each domain's history lives in one shard.
+func (f *Flash) Merge(o *Flash) {
+	f.all.merge(o.all)
+	f.top10k.merge(o.top10k)
+	f.top1k.merge(o.top1k)
+	f.scriptAccess.merge(o.scriptAccess)
+	f.always.merge(o.always)
+	for country, set := range o.postEOLCountry {
+		dst := f.postEOLCountry[country]
+		if dst == nil {
+			dst = map[string]bool{}
+			f.postEOLCountry[country] = dst
+		}
+		for d := range set {
+			dst[d] = true
+		}
+	}
+	for dom, h := range o.holdouts {
+		// Rank and country are per-domain constants; on a (contract-
+		// violating) overlap the receiver's visibility snapshot is kept.
+		if _, ok := f.holdouts[dom]; !ok {
+			cp := *h
+			f.holdouts[dom] = &cp
+		}
+	}
+}
+
 // Holdout is one top-band website still embedding Flash after the end of
 // life — the Section 8 case-study population.
 type Holdout struct {

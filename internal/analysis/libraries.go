@@ -114,6 +114,42 @@ func (l *LibraryStats) Observe(obs store.Observation) {
 	}
 }
 
+// Merge folds another LibraryStats' aggregates into l. The two collectors
+// must have observed disjoint shards of the same study (see Collector).
+func (l *LibraryStats) Merge(o *LibraryStats) {
+	l.collected.merge(o.collected)
+	l.jsSites.merge(o.jsSites)
+	l.libSites.merge(o.libSites)
+	mergeSets(l.distinct, o.distinct)
+	for slug, os := range o.libs {
+		ls := l.libs[slug]
+		if ls == nil {
+			ls = newLibStats()
+			l.libs[slug] = ls
+		}
+		ls.merge(os)
+	}
+}
+
+func (ls *libStats) merge(o *libStats) {
+	ls.usage.merge(o.usage)
+	ls.internal += o.internal
+	ls.external += o.external
+	ls.cdnHits += o.cdnHits
+	mergeCounts(ls.hosts, o.hosts)
+	mergeCounts(ls.versions, o.versions)
+	// Display strings are consistent per canonical key in practice; keep
+	// the lexicographically smaller on the (theoretical) conflict so the
+	// merge stays order-independent.
+	for key, raw := range o.verRaw {
+		if cur, ok := ls.verRaw[key]; !ok || raw < cur {
+			ls.verRaw[key] = raw
+		}
+	}
+	mergeSeriesMap(ls.verWeek, o.verWeek)
+	mergeSeriesMap(ls.verWP, o.verWP)
+}
+
 // UsageSeries returns the weekly share of collected sites using a library.
 func (l *LibraryStats) UsageSeries(slug string) []float64 {
 	den := l.collected.Series(l.weeks)

@@ -1,0 +1,322 @@
+package analysis
+
+// The merge equivalence suite: for every collector, folding a randomized
+// observation stream through N domain-disjoint shard instances and merging
+// them must produce exactly the state a single instance reaches observing
+// the whole stream. This is the correctness proof behind core's sharded
+// collection pipeline — reflect.DeepEqual over the full (unexported)
+// collector state is deliberately the strongest possible check.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"clientres/internal/store"
+	"clientres/internal/vulndb"
+	"clientres/internal/webgen"
+)
+
+// truthObservations streams a small generator ecosystem into a slice, weeks
+// ascending — the same order and shape the direct pipeline consumes.
+func truthObservations(t *testing.T, domains, weeks int, seed int64) []store.Observation {
+	t.Helper()
+	eco := webgen.New(webgen.Config{Domains: domains, Weeks: weeks, Seed: seed})
+	var out []store.Observation
+	TruthSource{Eco: eco}.ForEach(func(o store.Observation) { out = append(out, o) })
+	if len(out) != domains*weeks {
+		t.Fatalf("truth stream = %d observations, want %d", len(out), domains*weeks)
+	}
+	return out
+}
+
+// streamShape parameterizes the randomized stream.
+const (
+	streamDomains = 48
+	streamWeeks   = 36
+)
+
+// randomStream generates a week-ascending randomized observation stream:
+// per-domain version random walks (producing updates, downgrades, and
+// advisory-range crossings), WordPress and Flash populations, SRI and
+// version-control hosting, anti-bot/dead weeks — every code path the
+// collectors branch on.
+func randomStream(seed int64) []store.Observation {
+	rng := rand.New(rand.NewSource(seed))
+
+	slugs := []string{"jquery", "bootstrap", "moment", "underscore",
+		"jquery-cookie", "js-cookie", "swfobject", "prototype"}
+	pool := map[string][]string{}
+	for _, slug := range slugs {
+		cat, ok := vulndb.CatalogFor(slug)
+		if !ok {
+			continue
+		}
+		for _, rel := range cat.Releases {
+			pool[slug] = append(pool[slug], rel.Version.String())
+		}
+	}
+	hosts := []string{"cdnjs.cloudflare.com", "code.jquery.com",
+		"raw.githubusercontent.com", "github.io"}
+	crossorigins := []string{"", "anonymous", "use-credentials"}
+	countries := []string{"US", "CN", "KR", "DE"}
+	wpVersions := []string{"4.9.8", "5.2.1", "5.7", "5.8.3"}
+
+	type libState struct {
+		slug string
+		idx  int // index into the version pool, random-walked weekly
+		ext  bool
+		host string
+		sri  bool
+		co   string
+	}
+	type domState struct {
+		name    string
+		rank    int
+		country string
+		libs    []*libState
+		wp      string
+		flash   bool
+		visible bool
+	}
+	doms := make([]*domState, streamDomains)
+	for d := range doms {
+		ds := &domState{
+			name:    fmt.Sprintf("site-%03d.example", d),
+			rank:    d + 1,
+			country: countries[rng.Intn(len(countries))],
+		}
+		nLibs := 1 + rng.Intn(4)
+		for j := 0; j < nLibs; j++ {
+			slug := slugs[rng.Intn(len(slugs))]
+			vs := pool[slug]
+			if len(vs) == 0 {
+				continue
+			}
+			ds.libs = append(ds.libs, &libState{
+				slug: slug,
+				idx:  rng.Intn(len(vs)),
+				ext:  rng.Intn(3) > 0,
+				host: hosts[rng.Intn(len(hosts))],
+				sri:  rng.Intn(4) == 0,
+				co:   crossorigins[rng.Intn(len(crossorigins))],
+			})
+		}
+		if rng.Intn(4) == 0 {
+			ds.wp = wpVersions[rng.Intn(len(wpVersions))]
+		}
+		if rng.Intn(5) == 0 {
+			ds.flash = true
+			ds.visible = rng.Intn(2) == 0
+		}
+		doms[d] = ds
+	}
+
+	var out []store.Observation
+	for w := 0; w < streamWeeks; w++ {
+		for _, ds := range doms {
+			obs := store.Observation{
+				Domain: ds.name, Rank: ds.rank, Country: ds.country,
+				Week: w, Status: 200, Bytes: 4096,
+			}
+			switch rng.Intn(12) {
+			case 0:
+				obs.Status, obs.Bytes = 0, 0 // dead
+			case 1:
+				obs.Status, obs.Bytes = 503, 120 // transient failure
+			case 2:
+				obs.Bytes = 64 // anti-bot empty page
+			}
+			if obs.OK() {
+				obs.WordPress = ds.wp
+				for _, ls := range ds.libs {
+					vs := pool[ls.slug]
+					// Random walk the version: updates and the occasional
+					// downgrade, so UpdateDelay and Regressions both fire.
+					if rng.Intn(5) == 0 {
+						ls.idx += 1 + rng.Intn(3)
+					} else if rng.Intn(11) == 0 {
+						ls.idx -= 1 + rng.Intn(2)
+					}
+					if ls.idx < 0 {
+						ls.idx = 0
+					}
+					if ls.idx >= len(vs) {
+						ls.idx = len(vs) - 1
+					}
+					rec := store.LibRecord{
+						Slug: ls.slug, Version: vs[ls.idx], Known: true,
+						External: ls.ext,
+					}
+					if ls.ext {
+						rec.Host = ls.host
+						rec.SRI = ls.sri
+						if ls.sri {
+							rec.Crossorigin = ls.co
+						}
+					}
+					obs.Libs = append(obs.Libs, rec)
+				}
+				if rng.Intn(9) == 0 {
+					// A tail library without a parseable version.
+					obs.Libs = append(obs.Libs, store.LibRecord{Slug: "customlib"})
+				}
+				obs.HasJS = len(obs.Libs) > 0 || rng.Intn(3) > 0
+				obs.Resources = store.ResourceFlags{
+					JavaScript: obs.HasJS,
+					CSS:        rng.Intn(2) == 0,
+					Favicon:    rng.Intn(2) == 0,
+					XML:        rng.Intn(8) == 0,
+					SVG:        rng.Intn(6) == 0,
+					Flash:      ds.flash,
+					AXD:        rng.Intn(16) == 0,
+				}
+				if ds.flash {
+					sap := rng.Intn(2) == 0
+					obs.Flash = &store.FlashRecord{
+						ScriptAccessParam: sap,
+						Always:            sap && rng.Intn(3) == 0,
+						ViaSWFObject:      rng.Intn(2) == 0,
+						Visible:           ds.visible,
+					}
+				}
+			}
+			out = append(out, obs)
+		}
+	}
+	return out
+}
+
+// splitByDomain partitions a stream into domain-disjoint shards by FNV-1a
+// hash, preserving each domain's observation order — the sharding contract
+// of core's parallel pipeline.
+func splitByDomain(obs []store.Observation, shards int) [][]store.Observation {
+	parts := make([][]store.Observation, shards)
+	for _, o := range obs {
+		h := fnv.New32a()
+		_, _ = h.Write([]byte(o.Domain))
+		s := int(h.Sum32() % uint32(shards))
+		parts[s] = append(parts[s], o)
+	}
+	return parts
+}
+
+// checkMerge asserts Merge(split(obs)) ≡ Observe(obs) for one collector.
+func checkMerge[T Collector](t *testing.T, all []store.Observation, parts [][]store.Observation, mk func() T, merge func(dst, src T)) {
+	t.Helper()
+	serial := mk()
+	for _, o := range all {
+		serial.Observe(o)
+	}
+	merged := mk()
+	nonEmpty := 0
+	for _, part := range parts {
+		if len(part) > 0 {
+			nonEmpty++
+		}
+		shard := mk()
+		for _, o := range part {
+			shard.Observe(o)
+		}
+		merge(merged, shard)
+	}
+	if nonEmpty == 0 {
+		t.Fatal("degenerate split: no non-empty shard")
+	}
+	if !reflect.DeepEqual(serial, merged) {
+		t.Errorf("%s: sharded merge diverges from serial state", serial.Name())
+	}
+}
+
+func TestMergeEquivalenceAllCollectors(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		obs := randomStream(seed)
+		for _, shards := range []int{2, 3, 7} {
+			t.Run(fmt.Sprintf("seed=%d/shards=%d", seed, shards), func(t *testing.T) {
+				parts := splitByDomain(obs, shards)
+				for s, part := range parts {
+					if len(part) == 0 {
+						t.Fatalf("shard %d/%d received no observations", s, shards)
+					}
+				}
+				checkMerge(t, obs, parts,
+					func() *Collection { return NewCollection(streamWeeks) }, (*Collection).Merge)
+				checkMerge(t, obs, parts,
+					func() *LibraryStats { return NewLibraryStats(streamWeeks) }, (*LibraryStats).Merge)
+				checkMerge(t, obs, parts,
+					func() *VulnPrevalence { return NewVulnPrevalence(streamWeeks) }, (*VulnPrevalence).Merge)
+				checkMerge(t, obs, parts,
+					func() *UpdateDelay { return NewUpdateDelay(streamWeeks) }, (*UpdateDelay).Merge)
+				checkMerge(t, obs, parts,
+					func() *SRI { return NewSRI(streamWeeks) }, (*SRI).Merge)
+				checkMerge(t, obs, parts,
+					func() *Flash { return NewFlash(streamWeeks, streamDomains) }, (*Flash).Merge)
+				checkMerge(t, obs, parts,
+					func() *WordPress { return NewWordPress(streamWeeks) }, (*WordPress).Merge)
+				checkMerge(t, obs, parts,
+					func() *Discontinued { return NewDiscontinued(streamWeeks) }, (*Discontinued).Merge)
+				checkMerge(t, obs, parts,
+					func() *Regressions { return NewRegressions(streamWeeks) }, (*Regressions).Merge)
+			})
+		}
+	}
+}
+
+// TestMergeIntoEmptyIsIdentity pins the algebra the sharded pipeline builds
+// on: merging any collector into a fresh one reproduces it exactly (the
+// fresh collector is a neutral element).
+func TestMergeIntoEmptyIsIdentity(t *testing.T) {
+	obs := randomStream(5)
+	whole := [][]store.Observation{obs}
+	// A single "shard" carrying the full stream, merged into an empty
+	// collector, must equal the serial collector.
+	checkMergeIdentity := func(t *testing.T) {
+		checkMerge(t, obs, append(whole, nil),
+			func() *Collection { return NewCollection(streamWeeks) }, (*Collection).Merge)
+		checkMerge(t, obs, append(whole, nil),
+			func() *LibraryStats { return NewLibraryStats(streamWeeks) }, (*LibraryStats).Merge)
+		checkMerge(t, obs, append(whole, nil),
+			func() *VulnPrevalence { return NewVulnPrevalence(streamWeeks) }, (*VulnPrevalence).Merge)
+		checkMerge(t, obs, append(whole, nil),
+			func() *UpdateDelay { return NewUpdateDelay(streamWeeks) }, (*UpdateDelay).Merge)
+		checkMerge(t, obs, append(whole, nil),
+			func() *SRI { return NewSRI(streamWeeks) }, (*SRI).Merge)
+		checkMerge(t, obs, append(whole, nil),
+			func() *Flash { return NewFlash(streamWeeks, streamDomains) }, (*Flash).Merge)
+		checkMerge(t, obs, append(whole, nil),
+			func() *WordPress { return NewWordPress(streamWeeks) }, (*WordPress).Merge)
+		checkMerge(t, obs, append(whole, nil),
+			func() *Discontinued { return NewDiscontinued(streamWeeks) }, (*Discontinued).Merge)
+		checkMerge(t, obs, append(whole, nil),
+			func() *Regressions { return NewRegressions(streamWeeks) }, (*Regressions).Merge)
+	}
+	checkMergeIdentity(t)
+}
+
+// TestMergeGroundTruthStream re-runs the equivalence over a realistic
+// generator stream (the same source the direct pipeline consumes), so the
+// property holds on production-shaped data, not just the synthetic walk.
+func TestMergeGroundTruthStream(t *testing.T) {
+	src := truthObservations(t, 160, 20, 3)
+	parts := splitByDomain(src, 4)
+	checkMerge(t, src, parts,
+		func() *Collection { return NewCollection(20) }, (*Collection).Merge)
+	checkMerge(t, src, parts,
+		func() *LibraryStats { return NewLibraryStats(20) }, (*LibraryStats).Merge)
+	checkMerge(t, src, parts,
+		func() *VulnPrevalence { return NewVulnPrevalence(20) }, (*VulnPrevalence).Merge)
+	checkMerge(t, src, parts,
+		func() *UpdateDelay { return NewUpdateDelay(20) }, (*UpdateDelay).Merge)
+	checkMerge(t, src, parts,
+		func() *SRI { return NewSRI(20) }, (*SRI).Merge)
+	checkMerge(t, src, parts,
+		func() *Flash { return NewFlash(20, 160) }, (*Flash).Merge)
+	checkMerge(t, src, parts,
+		func() *WordPress { return NewWordPress(20) }, (*WordPress).Merge)
+	checkMerge(t, src, parts,
+		func() *Discontinued { return NewDiscontinued(20) }, (*Discontinued).Merge)
+	checkMerge(t, src, parts,
+		func() *Regressions { return NewRegressions(20) }, (*Regressions).Merge)
+}

@@ -94,6 +94,27 @@ func (r *Regressions) Observe(obs store.Observation) {
 	}
 }
 
+// Merge folds another Regressions' aggregates into r. The two collectors
+// must have observed disjoint shards of the same study (see Collector):
+// the last-version and exit-state machines are per-domain and only merge
+// exactly under domain-disjoint sharding (overlapping keys keep the
+// receiver's state).
+func (r *Regressions) Merge(o *Regressions) {
+	for key, v := range o.last {
+		if _, ok := r.last[key]; !ok {
+			r.last[key] = v
+		}
+	}
+	mergeCounts(r.downgrades, o.downgrades)
+	mergeCounts(r.reopened, o.reopened)
+	mergeSets(r.regressedDomains, o.regressedDomains)
+	for key, v := range o.exitState {
+		if _, ok := r.exitState[key]; !ok {
+			r.exitState[key] = v
+		}
+	}
+}
+
 // RegressedDomains returns the number of domains with ≥1 observed version
 // downgrade.
 func (r *Regressions) RegressedDomains() int { return len(r.regressedDomains) }

@@ -100,6 +100,28 @@ func (s *SRI) Observe(obs store.Observation) {
 	}
 }
 
+// Merge folds another SRI's aggregates into s. The two collectors must
+// have observed disjoint shards of the same study (see Collector).
+func (s *SRI) Merge(o *SRI) {
+	s.sitesWithExternal.merge(o.sitesWithExternal)
+	s.sitesMissingSRI.merge(o.sitesMissingSRI)
+	mergeCounts(s.crossorigin, o.crossorigin)
+	s.vcSites.merge(o.vcSites)
+	s.vcSitesSRI.merge(o.vcSitesSRI)
+	mergeCounts(s.vcHosts, o.vcHosts)
+	mergeMinRank(s.vcSiteRank, o.vcSiteRank)
+	for dom, hosts := range o.vcSiteHosts {
+		dst := s.vcSiteHosts[dom]
+		if dst == nil {
+			dst = map[string]bool{}
+			s.vcSiteHosts[dom] = dst
+		}
+		for h := range hosts {
+			dst[h] = true
+		}
+	}
+}
+
 // MissingSRIShare returns the average share of external-library sites that
 // have at least one external inclusion without integrity (the paper's
 // 99.7 %).

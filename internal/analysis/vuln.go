@@ -114,6 +114,21 @@ func (v *VulnPrevalence) Observe(obs store.Observation) {
 	v.histTVV[nTVV]++
 }
 
+// Merge folds another VulnPrevalence's aggregates into v. The two
+// collectors must have observed disjoint shards of the same study (see
+// Collector).
+func (v *VulnPrevalence) Merge(o *VulnPrevalence) {
+	v.collected.merge(o.collected)
+	v.vulnCVE.merge(o.vulnCVE)
+	v.vulnTVV.merge(o.vulnTVV)
+	v.vulnUncond.merge(o.vulnUncond)
+	mergeSeriesMap(v.perAdvisoryCVE, o.perAdvisoryCVE)
+	mergeSeriesMap(v.perAdvisoryTVV, o.perAdvisoryTVV)
+	mergeHist(v.histCVE, o.histCVE)
+	mergeHist(v.histTVV, o.histTVV)
+	mergeMinRank(v.undisclosed, o.undisclosed)
+}
+
 // MeanVulnerableShare returns the average weekly share of collected sites
 // carrying ≥1 known vulnerability — the paper's 41.2 % (CVE ranges) and
 // 43.2 % (TVV ranges).

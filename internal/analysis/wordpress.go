@@ -61,6 +61,16 @@ func (w *WordPress) Observe(obs store.Observation) {
 	}
 }
 
+// Merge folds another WordPress collector's aggregates into w. The two
+// collectors must have observed disjoint shards of the same study (see
+// Collector).
+func (w *WordPress) Merge(o *WordPress) {
+	w.collected.merge(o.collected)
+	w.wpSites.merge(o.wpSites)
+	mergeSeriesMap(w.affected, o.affected)
+	mergeCounts(w.versions, o.versions)
+}
+
 // MeanShare returns the average share of collected sites built with
 // WordPress (the paper's 26.9 %).
 func (w *WordPress) MeanShare() float64 {

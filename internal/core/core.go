@@ -8,11 +8,14 @@ package core
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
+	"clientres/internal/alexa"
 	"clientres/internal/analysis"
 	"clientres/internal/crawler"
 	"clientres/internal/fingerprint"
@@ -47,6 +50,13 @@ type Config struct {
 	Mode Mode
 	// Workers bounds crawl concurrency (ModeCrawl).
 	Workers int
+	// Shards parallelizes the analysis pipeline (default 1 = serial).
+	// Observations are partitioned across shards by domain hash; each
+	// shard folds its partition into a private collector set, merged
+	// after collection. A sharded run produces byte-identical report
+	// output to a serial run of the same configuration (proven by the
+	// shard equivalence tests).
+	Shards int
 	// StorePath, when set, persists every observation to a gzip JSONL
 	// file.
 	StorePath string
@@ -74,6 +84,56 @@ type Results struct {
 	Findings []poclab.Finding
 }
 
+// newResults builds an empty collector set for a study shape.
+func newResults(weeks, domains int) *Results {
+	return &Results{
+		Weeks:     weeks,
+		Coll:      analysis.NewCollection(weeks),
+		Libs:      analysis.NewLibraryStats(weeks),
+		Vuln:      analysis.NewVulnPrevalence(weeks),
+		Delay:     analysis.NewUpdateDelay(weeks),
+		SRI:       analysis.NewSRI(weeks),
+		Flash:     analysis.NewFlash(weeks, domains),
+		WordPress: analysis.NewWordPress(weeks),
+		Disc:      analysis.NewDiscontinued(weeks),
+		Regress:   analysis.NewRegressions(weeks),
+	}
+}
+
+// runner returns a Runner fanning observations to every collector of r.
+func (r *Results) runner() *analysis.Runner {
+	return analysis.NewRunner(r.Coll, r.Libs, r.Vuln, r.Delay,
+		r.SRI, r.Flash, r.WordPress, r.Disc, r.Regress)
+}
+
+// Merge folds another result set's collector aggregates into r. The two
+// sets must come from domain-disjoint shards of the same study shape (see
+// analysis.Collector); Eco, Weeks, and Findings are left untouched.
+func (r *Results) Merge(o *Results) {
+	r.Coll.Merge(o.Coll)
+	r.Libs.Merge(o.Libs)
+	r.Vuln.Merge(o.Vuln)
+	r.Delay.Merge(o.Delay)
+	r.SRI.Merge(o.SRI)
+	r.Flash.Merge(o.Flash)
+	r.WordPress.Merge(o.WordPress)
+	r.Disc.Merge(o.Disc)
+	r.Regress.Merge(o.Regress)
+}
+
+// shardOf assigns a domain to one of n shards by FNV-1a hash. Keeping all
+// of a domain's observations in a single shard preserves the per-domain
+// week ordering the stateful collectors rely on, and makes shard merging
+// exact.
+func shardOf(domain string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(domain))
+	return int(h.Sum32() % uint32(n))
+}
+
 // Run executes the pipeline.
 func Run(ctx context.Context, cfg Config) (*Results, error) {
 	if cfg.Domains == 0 {
@@ -82,25 +142,15 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	if cfg.Weeks == 0 {
 		cfg.Weeks = webgen.StudyWeeks
 	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
 	if cfg.Progress == nil {
 		cfg.Progress = func(string, ...any) {}
 	}
 	eco := webgen.New(webgen.Config{Domains: cfg.Domains, Weeks: cfg.Weeks, Seed: cfg.Seed})
-	res := &Results{
-		Eco:       eco,
-		Weeks:     cfg.Weeks,
-		Coll:      analysis.NewCollection(cfg.Weeks),
-		Libs:      analysis.NewLibraryStats(cfg.Weeks),
-		Vuln:      analysis.NewVulnPrevalence(cfg.Weeks),
-		Delay:     analysis.NewUpdateDelay(cfg.Weeks),
-		SRI:       analysis.NewSRI(cfg.Weeks),
-		Flash:     analysis.NewFlash(cfg.Weeks, cfg.Domains),
-		WordPress: analysis.NewWordPress(cfg.Weeks),
-		Disc:      analysis.NewDiscontinued(cfg.Weeks),
-		Regress:   analysis.NewRegressions(cfg.Weeks),
-	}
-	runner := analysis.NewRunner(res.Coll, res.Libs, res.Vuln, res.Delay,
-		res.SRI, res.Flash, res.WordPress, res.Disc, res.Regress)
+	res := newResults(cfg.Weeks, cfg.Domains)
+	res.Eco = eco
 
 	var writer *store.Writer
 	if cfg.StorePath != "" {
@@ -109,22 +159,21 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer writer.Close()
-	}
-	observe := func(obs store.Observation) error {
-		runner.Observe(obs)
-		if writer != nil {
-			return writer.Write(obs)
-		}
-		return nil
 	}
 
 	var err error
 	switch cfg.Mode {
 	case ModeCrawl:
-		err = collectByCrawl(ctx, cfg, eco, observe)
+		err = collectByCrawl(ctx, cfg, eco, res, writer)
 	default:
-		err = collectDirect(ctx, cfg, eco, observe)
+		err = collectDirect(ctx, cfg, eco, res, writer)
+	}
+	if writer != nil {
+		// A failed close loses the gzip footer — and with it data the
+		// readers can never recover; never swallow it.
+		if cerr := writer.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -139,26 +188,102 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	return res, nil
 }
 
-// collectDirect streams ground-truth observations, weeks ascending.
-func collectDirect(ctx context.Context, cfg Config, eco *webgen.Ecosystem, observe func(store.Observation) error) error {
+// collectDirect streams ground-truth observations, weeks ascending. With
+// Shards > 1 the sites are partitioned by domain hash and each shard folds
+// its partition into a private collector set on its own goroutine, with a
+// barrier per week; the shards merge into res afterwards.
+func collectDirect(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res *Results, writer *store.Writer) error {
+	if cfg.Shards == 1 {
+		runner := res.runner()
+		for w := 0; w < cfg.Weeks; w++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			for i := range eco.Sites {
+				obs := analysis.ObservationFromTruth(eco.Sites[i].Domain, eco.Truth(i, w))
+				runner.Observe(obs)
+				if writer != nil {
+					if err := writer.Write(obs); err != nil {
+						return err
+					}
+				}
+			}
+			cfg.Progress("week %3d/%d collected (direct)", w+1, cfg.Weeks)
+		}
+		return nil
+	}
+
+	parts := make([][]int, cfg.Shards)
+	for i := range eco.Sites {
+		s := shardOf(eco.Sites[i].Domain.Name, cfg.Shards)
+		parts[s] = append(parts[s], i)
+	}
+	shardRes := make([]*Results, cfg.Shards)
+	runners := make([]*analysis.Runner, cfg.Shards)
+	for s := range shardRes {
+		shardRes[s] = newResults(cfg.Weeks, cfg.Domains)
+		runners[s] = shardRes[s].runner()
+	}
+	var wmu sync.Mutex // serializes store writes across shards
+	errs := make([]error, cfg.Shards)
 	for w := 0; w < cfg.Weeks; w++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		for i := range eco.Sites {
-			obs := analysis.ObservationFromTruth(eco.Sites[i].Domain, eco.Truth(i, w))
-			if err := observe(obs); err != nil {
-				return err
+		var wg sync.WaitGroup
+		for s := 0; s < cfg.Shards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for _, i := range parts[s] {
+					obs := analysis.ObservationFromTruth(eco.Sites[i].Domain, eco.Truth(i, w))
+					runners[s].Observe(obs)
+					if writer != nil {
+						wmu.Lock()
+						err := writer.Write(obs)
+						wmu.Unlock()
+						if err != nil {
+							errs[s] = err
+							return
+						}
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return e
 			}
 		}
-		cfg.Progress("week %3d/%d collected (direct)", w+1, cfg.Weeks)
+		cfg.Progress("week %3d/%d collected (direct, %d shards)", w+1, cfg.Weeks, cfg.Shards)
+	}
+	for _, sr := range shardRes {
+		res.Merge(sr)
 	}
 	return nil
 }
 
+// crawlObservation reduces one crawled page to an Observation, running the
+// fingerprint engine on usable bodies.
+func crawlObservation(byName map[string]alexa.Domain, p crawler.Page) store.Observation {
+	dom := byName[p.Domain]
+	var det fingerprint.Detection
+	status := p.Status
+	if p.Err != nil {
+		status = 0
+	} else if status == 200 {
+		det = fingerprint.Page(p.Body, p.Domain)
+	}
+	return analysis.ObservationFromCrawl(dom, p.Week, status, p.Body, det)
+}
+
 // collectByCrawl serves the ecosystem on a loopback listener, crawls every
-// week, and fingerprints the fetched pages.
-func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, observe func(store.Observation) error) error {
+// week, and fingerprints the fetched pages. With Shards > 1 the pages fan
+// out by domain hash to per-shard analysis workers, so fingerprinting and
+// collection run in parallel with the crawl; the per-shard collector sets
+// merge into res afterwards.
+func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res *Results, writer *store.Writer) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -189,55 +314,144 @@ func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, obse
 	for i, s := range eco.Sites {
 		domains[i] = s.Domain.Name
 	}
-	for w := 0; w < cfg.Weeks; w++ {
-		var obsErr error
-		err := cr.CrawlWeek(ctx, w, domains, func(p crawler.Page) {
-			dom := byName[p.Domain]
-			var det fingerprint.Detection
-			status := p.Status
-			if p.Err != nil {
-				status = 0
-			} else if status == 200 {
-				det = fingerprint.Page(p.Body, p.Domain)
+
+	if cfg.Shards == 1 {
+		runner := res.runner()
+		for w := 0; w < cfg.Weeks; w++ {
+			// CrawlWeek invokes the callback from a single goroutine (its
+			// documented contract, asserted by the crawler's contract
+			// tests), so the plain obsErr capture is race-free by
+			// construction.
+			var obsErr error
+			err := cr.CrawlWeek(ctx, w, domains, func(p crawler.Page) {
+				obs := crawlObservation(byName, p)
+				runner.Observe(obs)
+				if writer != nil && obsErr == nil {
+					obsErr = writer.Write(obs)
+				}
+			})
+			if err != nil {
+				return err
 			}
-			obs := analysis.ObservationFromCrawl(dom, w, status, p.Body, det)
-			if e := observe(obs); e != nil && obsErr == nil {
-				obsErr = e
+			if obsErr != nil {
+				return obsErr
 			}
-		})
-		if err != nil {
-			return err
+			cfg.Progress("week %3d/%d crawled", w+1, cfg.Weeks)
 		}
-		if obsErr != nil {
-			return obsErr
+		return nil
+	}
+
+	shardRes := make([]*Results, cfg.Shards)
+	chans := make([]chan crawler.Page, cfg.Shards)
+	errs := make([]error, cfg.Shards)
+	var wmu sync.Mutex // serializes store writes across shards
+	var wg sync.WaitGroup
+	for s := 0; s < cfg.Shards; s++ {
+		shardRes[s] = newResults(cfg.Weeks, cfg.Domains)
+		chans[s] = make(chan crawler.Page, 128)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			runner := shardRes[s].runner()
+			for p := range chans[s] {
+				if errs[s] != nil {
+					continue // drain after a failure so the feeder never blocks
+				}
+				obs := crawlObservation(byName, p)
+				runner.Observe(obs)
+				if writer != nil {
+					wmu.Lock()
+					err := writer.Write(obs)
+					wmu.Unlock()
+					if err != nil {
+						errs[s] = err
+					}
+				}
+			}
+		}(s)
+	}
+	crawlErr := func() error {
+		for w := 0; w < cfg.Weeks; w++ {
+			// CrawlWeek returns only after every page of the week has been
+			// handed to the callback, so each domain's pages enter its
+			// shard channel in week-ascending order.
+			err := cr.CrawlWeek(ctx, w, domains, func(p crawler.Page) {
+				chans[shardOf(p.Domain, cfg.Shards)] <- p
+			})
+			if err != nil {
+				return err
+			}
+			cfg.Progress("week %3d/%d crawled (%d shards)", w+1, cfg.Weeks, cfg.Shards)
 		}
-		cfg.Progress("week %3d/%d crawled", w+1, cfg.Weeks)
+		return nil
+	}()
+	for _, c := range chans {
+		close(c)
+	}
+	wg.Wait()
+	if crawlErr != nil {
+		return crawlErr
+	}
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	for _, sr := range shardRes {
+		res.Merge(sr)
 	}
 	return nil
 }
 
 // RunFromStore replays a stored observation file through the analyses
 // (Findings still come from the PoC lab, which is dataset-independent).
-func RunFromStore(path string, weeks, domains int) (*Results, error) {
-	res := &Results{
-		Weeks:     weeks,
-		Coll:      analysis.NewCollection(weeks),
-		Libs:      analysis.NewLibraryStats(weeks),
-		Vuln:      analysis.NewVulnPrevalence(weeks),
-		Delay:     analysis.NewUpdateDelay(weeks),
-		SRI:       analysis.NewSRI(weeks),
-		Flash:     analysis.NewFlash(weeks, domains),
-		WordPress: analysis.NewWordPress(weeks),
-		Disc:      analysis.NewDiscontinued(weeks),
-		Regress:   analysis.NewRegressions(weeks),
+// With shards > 1 the observations fan out by domain hash to per-shard
+// collector sets, merged afterwards — the stored per-domain week ordering
+// is preserved inside each shard, so the result is identical to a serial
+// replay.
+func RunFromStore(path string, weeks, domains, shards int) (*Results, error) {
+	if shards < 1 {
+		shards = 1
 	}
-	runner := analysis.NewRunner(res.Coll, res.Libs, res.Vuln, res.Delay,
-		res.SRI, res.Flash, res.WordPress, res.Disc, res.Regress)
-	if err := store.ForEach(path, func(obs store.Observation) error {
-		runner.Observe(obs)
-		return nil
-	}); err != nil {
-		return nil, err
+	res := newResults(weeks, domains)
+	if shards == 1 {
+		runner := res.runner()
+		if err := store.ForEach(path, func(obs store.Observation) error {
+			runner.Observe(obs)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	} else {
+		shardRes := make([]*Results, shards)
+		chans := make([]chan store.Observation, shards)
+		var wg sync.WaitGroup
+		for s := 0; s < shards; s++ {
+			shardRes[s] = newResults(weeks, domains)
+			chans[s] = make(chan store.Observation, 256)
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				runner := shardRes[s].runner()
+				for obs := range chans[s] {
+					runner.Observe(obs)
+				}
+			}(s)
+		}
+		err := store.ForEach(path, func(obs store.Observation) error {
+			chans[shardOf(obs.Domain, shards)] <- obs
+			return nil
+		})
+		for _, c := range chans {
+			close(c)
+		}
+		wg.Wait()
+		if err != nil {
+			return nil, err
+		}
+		for _, sr := range shardRes {
+			res.Merge(sr)
+		}
 	}
 	var err error
 	res.Findings, err = poclab.RunAll()

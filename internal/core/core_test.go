@@ -92,7 +92,7 @@ func TestRunPersistsAndReplays(t *testing.T) {
 	if n != 150*12 {
 		t.Errorf("stored observations = %d, want %d", n, 150*12)
 	}
-	replayed, err := RunFromStore(path, 12, 150)
+	replayed, err := RunFromStore(path, 12, 150, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

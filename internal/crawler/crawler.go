@@ -28,12 +28,18 @@ type Config struct {
 	Timeout time.Duration
 	// Retries is the number of re-attempts after connection-level errors
 	// (default 1). HTTP error statuses are never retried — they are data.
+	// Pass NoRetries to request exactly one attempt: the config zero value
+	// means "default", so a plain 0 cannot express zero retries.
 	Retries int
 	// MaxBodyBytes caps how much of a page is read (default 2 MiB).
 	MaxBodyBytes int64
 	// UserAgent identifies the crawler.
 	UserAgent string
 }
+
+// NoRetries is the Config.Retries sentinel requesting a single fetch
+// attempt with no connection-level re-tries.
+const NoRetries = -1
 
 func (c Config) withDefaults() Config {
 	if c.Workers == 0 {
@@ -42,8 +48,11 @@ func (c Config) withDefaults() Config {
 	if c.Timeout == 0 {
 		c.Timeout = 10 * time.Second
 	}
-	if c.Retries == 0 {
+	switch {
+	case c.Retries == 0:
 		c.Retries = 1
+	case c.Retries < 0:
+		c.Retries = 0
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 2 << 20
@@ -130,6 +139,13 @@ func (c *Crawler) Fetch(ctx context.Context, week int, domain string) Page {
 // CrawlWeek fetches every domain for one snapshot week on the worker pool
 // and calls fn for each result from a single goroutine, in completion order.
 // It returns the first context error, if any.
+//
+// The single-goroutine callback delivery is a documented contract, not an
+// implementation accident: callers capture unsynchronized state in fn
+// (core's observation error, test accumulators) and rely on it. CrawlWeek
+// also does not return until every completed fetch has been delivered to
+// fn. TestCrawlWeekCallbackSingleGoroutine fails under -race if either
+// property breaks.
 func (c *Crawler) CrawlWeek(ctx context.Context, week int, domains []string, fn func(Page)) error {
 	jobs := make(chan string)
 	results := make(chan Page)

@@ -1,0 +1,76 @@
+package semver
+
+import "testing"
+
+// FuzzParseVersion checks the parser's round-trip invariants on arbitrary
+// input: whatever Parse accepts must re-parse from both its String and
+// Canonical forms to an equal version, and Canonical must be idempotent.
+func FuzzParseVersion(f *testing.F) {
+	seeds := []string{
+		"1.12.4", "v3.6.0", "2.2", "3", "1.6.0.1", "3.0.0-rc1", "1.0b2",
+		"0.0.0", "10.20.30", "1.0.0-alpha.1", "", " ", "1..2", "x", "v",
+		"1.2.3.4.5", "01.02", "-1.2", "1.2-", "1.2.3-β",
+		"0 +", "1.2 ", "1 .2", "0-a ", // whitespace crashers found by fuzzing
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := Parse(s)
+		if err != nil {
+			return // rejected input: only requirement is no panic
+		}
+		rt, err := Parse(v.String())
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", s, v.String(), err)
+		}
+		if !rt.Equal(v) {
+			t.Fatalf("round trip changed %q: %q -> %q", s, v.String(), rt.String())
+		}
+		canon := v.Canonical()
+		cv, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Canonical(%q) = %q does not re-parse: %v", s, canon, err)
+		}
+		if !cv.Equal(v) {
+			t.Fatalf("canonical form of %q compares unequal: %q", s, canon)
+		}
+		if again := cv.Canonical(); again != canon {
+			t.Fatalf("Canonical not idempotent: %q -> %q -> %q", s, canon, again)
+		}
+		if v.Compare(v) != 0 {
+			t.Fatalf("Compare(%q, itself) != 0", s)
+		}
+	})
+}
+
+// FuzzRange checks that ParseRange never panics and that accepted ranges
+// support String and Contains on arbitrary probe versions.
+func FuzzRange(f *testing.F) {
+	seeds := []string{
+		"< 1.9.0", ">= 1.2.0 < 3.5.0", "1.0.3 ~ 3.5.0",
+		"< 3.4.1, >= 4.0.0 < 4.3.1", "*", "all", "= 2.2.1", "<= 1.0",
+		"", ",", "~", "< ", ">= x", "1 ~ ", "> 1 > 2 > 3",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	probes := []Version{
+		MustParse("0.1"), MustParse("1.9.0"), MustParse("3.5.0"),
+		MustParse("4.0.0-rc1"), {},
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		rs, err := ParseRange(s)
+		if err != nil {
+			return
+		}
+		_ = rs.String()
+		for _, p := range probes {
+			_ = rs.Contains(p)
+		}
+		for _, iv := range rs.Intervals {
+			_ = iv.Empty()
+			_ = iv.String()
+		}
+	})
+}

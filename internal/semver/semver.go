@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"unicode"
 )
 
 // Version is a parsed library version. The zero Version is "0".
@@ -47,6 +48,12 @@ func Parse(s string) (Version, error) {
 	}
 	if s == "" {
 		return Version{}, fmt.Errorf("semver: empty version")
+	}
+	// Interior whitespace never appears in real versions, and a tag ending
+	// in whitespace would not survive the Canonical → Parse round trip
+	// (TrimSpace would eat it), so reject it outright.
+	if strings.IndexFunc(s, unicode.IsSpace) >= 0 {
+		return Version{}, fmt.Errorf("semver: %q: contains whitespace", raw)
 	}
 	// Split off an explicit pre-release marker first.
 	pre := ""

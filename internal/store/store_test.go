@@ -207,3 +207,45 @@ func TestCorruptFileErrors(t *testing.T) {
 		t.Error("corrupt JSON should error")
 	}
 }
+
+// TestWriterCloseReportsFlushFailure pins the property core.Run depends on:
+// the writer buffers 64 KiB before the gzip stream, so a write failure on
+// the underlying file may only surface at Close — and Close must report it
+// rather than silently losing the gzip footer (which would make the file
+// unreadable).
+func TestWriterCloseReportsFlushFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.jsonl.gz")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(sample(0)); err != nil {
+		t.Fatalf("buffered write should not fail: %v", err)
+	}
+	// Sabotage the underlying file: the buffered bytes can no longer be
+	// flushed, exactly like a disk filling up mid-run.
+	if err := w.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Error("Close must report the flush failure, not swallow it")
+	}
+}
+
+// TestWriterCloseFullDisk exercises the same failure end-to-end against a
+// real unwritable device rather than a sabotaged handle.
+func TestWriterCloseFullDisk(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	w, err := Create("/dev/full")
+	if err != nil {
+		t.Skip("cannot open /dev/full for writing")
+	}
+	if err := w.Write(sample(0)); err != nil {
+		t.Fatalf("buffered write should not fail: %v", err)
+	}
+	if err := w.Close(); err == nil {
+		t.Error("Close on a full disk must error")
+	}
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Full verification gate: vet, build, race-enabled tests, and short smoke
+# runs of every fuzz target. Run from the repository root (or via
+# `make check`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+# Budgeted fuzz smoke runs: a few seconds each, enough to catch shallow
+# regressions on every change without turning CI into a fuzzing farm.
+FUZZTIME="${FUZZTIME:-3s}"
+echo "==> fuzz smoke (${FUZZTIME} per target)"
+go test -run '^$' -fuzz '^FuzzTokenize$' -fuzztime "$FUZZTIME" ./internal/htmlx
+go test -run '^$' -fuzz '^FuzzParseVersion$' -fuzztime "$FUZZTIME" ./internal/semver
+go test -run '^$' -fuzz '^FuzzRange$' -fuzztime "$FUZZTIME" ./internal/semver
+
+echo "OK"
