@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench check fuzz-smoke
+.PHONY: build test race bench bench-store check fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,12 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-store runs the store-read / fingerprint-memo ablations with
+# -benchmem and appends machine-readable results to BENCH_store.json
+# (longer measurement: make bench-store BENCHTIME=2s).
+bench-store:
+	BENCHTIME=$(BENCHTIME) sh scripts/bench_store.sh
 
 # check is the full verification gate: vet + build + race tests + short
 # fuzz smoke runs (FUZZTIME=3s by default; override: make check FUZZTIME=30s).

@@ -1,0 +1,171 @@
+package clientres
+
+// Ablations for the segmented store and the fingerprint memo cache — the
+// two ends of the pipeline PR 1 left serial. BenchmarkStoreReadSegments
+// compares a full archive replay through the single sequential gzip
+// stream against the segmented parallel readers at 1/2/4/8 segments
+// (run with -benchmem: the no-retain decode path of the parallel reader
+// also cuts allocations/op). BenchmarkFingerprintMemo measures the
+// re-crawl fingerprinting cost with and without the content-hash memo —
+// the week-over-week unchanged-page case the paper's 531-day mean update
+// delay makes dominant. `make bench-store` runs both and appends
+// machine-readable results to BENCH_store.json.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"clientres/internal/fingerprint"
+	"clientres/internal/store"
+	"clientres/internal/webgen"
+)
+
+// benchStores materializes the benchmark observation stream as a
+// single-file archive plus segmented archives at several segment counts,
+// once per process.
+var (
+	benchStoreOnce sync.Once
+	benchStoreDir  string
+	benchStoreErr  error
+)
+
+func benchStorePaths(b *testing.B) (single string, segmented func(int) string) {
+	obs, _ := benchData(b)
+	benchStoreOnce.Do(func() {
+		// Not b.TempDir: the archives must survive this benchmark's
+		// cleanup so -count=N reruns (and future benchmarks) can reuse
+		// them; the OS reaps the temp dir.
+		dir, err := os.MkdirTemp("", "clientres-bench-store-")
+		if err != nil {
+			benchStoreErr = err
+			return
+		}
+		benchStoreDir = dir
+		w, err := store.Create(filepath.Join(dir, "obs.jsonl.gz"))
+		if err != nil {
+			benchStoreErr = err
+			return
+		}
+		for _, o := range obs {
+			if err := w.Write(o); err != nil {
+				benchStoreErr = err
+				return
+			}
+		}
+		if benchStoreErr = w.Close(); benchStoreErr != nil {
+			return
+		}
+		for _, segs := range []int{1, 2, 4, 8} {
+			sw, err := store.CreateSegmented(filepath.Join(dir, fmt.Sprintf("obs-%d.store", segs)), segs)
+			if err != nil {
+				benchStoreErr = err
+				return
+			}
+			for _, o := range obs {
+				if err := sw.Write(o); err != nil {
+					benchStoreErr = err
+					return
+				}
+			}
+			if benchStoreErr = sw.Close(); benchStoreErr != nil {
+				return
+			}
+		}
+	})
+	if benchStoreErr != nil {
+		b.Fatal(benchStoreErr)
+	}
+	return filepath.Join(benchStoreDir, "obs.jsonl.gz"),
+		func(segs int) string {
+			return filepath.Join(benchStoreDir, fmt.Sprintf("obs-%d.store", segs))
+		}
+}
+
+// BenchmarkStoreReadSegments replays the full archive: the single-file
+// sequential decoder versus the parallel per-segment decoders (the
+// no-retain fast path core.RunFromStore uses when shards == segments).
+func BenchmarkStoreReadSegments(b *testing.B) {
+	single, segmented := benchStorePaths(b)
+	count := func(b *testing.B, n int) {
+		b.Helper()
+		want := len(benchObs)
+		if n != want {
+			b.Fatalf("replay saw %d observations, want %d", n, want)
+		}
+	}
+	b.Run("single-file", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			if err := store.ForEach(single, func(store.Observation) error {
+				n++
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			count(b, n)
+		}
+	})
+	for _, segs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("segments=%d", segs), func(b *testing.B) {
+			dir := segmented(segs)
+			for i := 0; i < b.N; i++ {
+				counts := make([]int, segs)
+				if err := store.ForEachSegmentedParallel(dir, func(seg int, _ store.Observation) error {
+					counts[seg]++
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for _, c := range counts {
+					n += c
+				}
+				count(b, n)
+			}
+		})
+	}
+}
+
+// BenchmarkFingerprintMemo measures one simulated re-crawl week: every
+// page fingerprinted, bodies unchanged from the warmup pass — the
+// paper's dominant case. "uncached" runs the full tokenizer + ruleset
+// per page; "memo" hits the per-shard content-hash cache.
+func BenchmarkFingerprintMemo(b *testing.B) {
+	eco := webgen.New(webgen.Config{Domains: 300, Seed: 3})
+	type page struct{ html, host string }
+	var pages []page
+	var bytes int64
+	for i := range eco.Sites {
+		if html, status := eco.PageHTML(i, 100); status == 200 {
+			pages = append(pages, page{html, eco.Sites[i].Domain.Name})
+			bytes += int64(len(html))
+		}
+	}
+	if len(pages) == 0 {
+		b.Fatal("no accessible pages")
+	}
+	b.Run("uncached", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			for _, p := range pages {
+				_ = fingerprint.Page(p.html, p.host)
+			}
+		}
+	})
+	b.Run("memo", func(b *testing.B) {
+		memo := fingerprint.NewMemo(0)
+		for _, p := range pages {
+			_ = memo.Page(p.html, p.host) // warm: the previous week's crawl
+		}
+		b.SetBytes(bytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, p := range pages {
+				_ = memo.Page(p.html, p.host)
+			}
+		}
+	})
+}

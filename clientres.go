@@ -49,8 +49,21 @@ type Config struct {
 	// partitions (default 1 = serial). Sharded runs produce byte-identical
 	// reports to serial runs of the same configuration.
 	Shards int
-	// StorePath, when set, persists observations as gzip JSONL.
+	// StorePath, when set, persists observations as gzip JSONL — or, with
+	// StoreSegments > 1, as a segmented store directory (per-partition
+	// segment files plus a manifest) whose writes and replays parallelize.
 	StorePath string
+	// StoreSegments selects the segmented store layout (0 or 1 keeps the
+	// single gzip JSONL file). Both layouts replay to byte-identical
+	// reports; segment partition matches the Shards partition, so a
+	// replay with shards == segments decodes every segment concurrently
+	// straight into its shard's collectors.
+	StoreSegments int
+	// FingerprintCacheSize bounds the per-shard fingerprint memo cache on
+	// the crawl path (entries; 0 = default, negative = disable). Unchanged
+	// pages — the common case week over week — skip re-fingerprinting;
+	// results are identical either way.
+	FingerprintCacheSize int
 	// Progress receives one line per collected week, when set.
 	Progress func(format string, args ...any)
 }
@@ -71,7 +84,9 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	inner, err := core.Run(ctx, core.Config{
 		Domains: cfg.Domains, Weeks: cfg.Weeks, Seed: cfg.Seed,
 		Mode: mode, Workers: cfg.Workers, Shards: cfg.Shards,
-		StorePath: cfg.StorePath, Progress: cfg.Progress,
+		StorePath: cfg.StorePath, StoreSegments: cfg.StoreSegments,
+		FingerprintCacheSize: cfg.FingerprintCacheSize,
+		Progress:             cfg.Progress,
 	})
 	if err != nil {
 		return nil, err

@@ -1,9 +1,14 @@
 // Command analyze replays a stored observation dataset through every
-// analysis of the paper and prints the full table/figure report.
+// analysis of the paper and prints the full table/figure report. The
+// input may be a single gzip JSONL file or a segmented store directory
+// (see cmd/gendata -segments); both are read transparently, and when the
+// segment count equals -shards the replay decodes every segment
+// concurrently straight into its shard's collectors.
 //
 // Usage:
 //
 //	analyze -in observations.jsonl.gz -weeks 201 -domains 20000 -shards 8
+//	analyze -in observations.store -shards 8 -cpuprofile analyze.pprof
 package main
 
 import (
@@ -13,18 +18,30 @@ import (
 	"os"
 
 	"clientres/internal/core"
+	"clientres/internal/prof"
 	"clientres/internal/webgen"
 )
 
 func main() {
-	in := flag.String("in", "observations.jsonl.gz", "input observation file")
+	in := flag.String("in", "observations.jsonl.gz", "input observation file or segmented store directory")
 	weeks := flag.Int("weeks", webgen.StudyWeeks, "snapshot weeks in the dataset")
 	domains := flag.Int("domains", 20000, "ranked population size of the dataset")
 	shards := flag.Int("shards", 1, "parallel analysis shards (results identical to -shards 1)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	res, err := core.RunFromStore(*in, *weeks, *domains, *shards)
+	stopCPU, err := prof.StartCPU(*cpuprofile)
 	if err != nil {
+		log.Fatalf("analyze: %v", err)
+	}
+
+	res, err := core.RunFromStore(*in, *weeks, *domains, *shards)
+	stopCPU()
+	if err != nil {
+		log.Fatalf("analyze: %v", err)
+	}
+	if err := prof.WriteHeap(*memprofile); err != nil {
 		log.Fatalf("analyze: %v", err)
 	}
 	w := bufio.NewWriter(os.Stdout)

@@ -1,11 +1,13 @@
 // Command crawl runs the study's real collection pipeline: it serves the
 // synthetic web on a loopback HTTP listener, crawls every domain every
 // snapshot week with the concurrent crawler, fingerprints each landing
-// page, and stores the resulting observations.
+// page (with a per-shard content-hash memo cache, since most pages are
+// week-over-week identical), and stores the resulting observations.
 //
 // Usage:
 //
 //	crawl -domains 2000 -weeks 50 -workers 64 -shards 4 -out crawl.jsonl.gz
+//	crawl -shards 4 -segments 4 -out crawl.store -cpuprofile crawl.pprof
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"os/signal"
 
 	"clientres/internal/core"
+	"clientres/internal/prof"
 	"clientres/internal/webgen"
 )
 
@@ -26,21 +29,37 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	workers := flag.Int("workers", 64, "concurrent crawler workers")
 	shards := flag.Int("shards", 1, "parallel fingerprint/analysis shards (results identical to -shards 1)")
-	out := flag.String("out", "crawl.jsonl.gz", "output path (gzip JSONL)")
+	segments := flag.Int("segments", 1, "store segments; >1 writes a segmented store directory (reads identical to a single file)")
+	fpcache := flag.Int("fpcache", 0, "per-shard fingerprint memo entries (0 = default, negative = disable)")
+	out := flag.String("out", "crawl.jsonl.gz", "output path (gzip JSONL file, or a directory with -segments > 1)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	stopCPU, err := prof.StartCPU(*cpuprofile)
+	if err != nil {
+		log.Fatalf("crawl: %v", err)
+	}
+
 	cfg := core.Config{
 		Domains: *domains, Weeks: *weeks, Seed: *seed,
 		Mode: core.ModeCrawl, Workers: *workers, Shards: *shards,
-		StorePath: *out, SkipPoC: true,
+		StorePath: *out, StoreSegments: *segments,
+		FingerprintCacheSize: *fpcache,
+		SkipPoC:              true,
 		Progress: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
 	}
-	if _, err := core.Run(ctx, cfg); err != nil {
+	_, err = core.Run(ctx, cfg)
+	stopCPU()
+	if err != nil {
+		log.Fatalf("crawl: %v", err)
+	}
+	if err := prof.WriteHeap(*memprofile); err != nil {
 		log.Fatalf("crawl: %v", err)
 	}
 	fmt.Printf("crawled %d domains x %d weeks into %s\n", *domains, *weeks, *out)

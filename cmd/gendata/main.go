@@ -5,6 +5,7 @@
 // Usage:
 //
 //	gendata -domains 20000 -weeks 201 -seed 1 -out observations.jsonl.gz
+//	gendata -domains 20000 -segments 8 -out observations.store
 package main
 
 import (
@@ -22,13 +23,14 @@ func main() {
 	domains := flag.Int("domains", 20000, "number of ranked domains to model")
 	weeks := flag.Int("weeks", webgen.StudyWeeks, "number of weekly snapshots")
 	seed := flag.Int64("seed", 1, "generation seed")
-	out := flag.String("out", "observations.jsonl.gz", "output path (gzip JSONL)")
+	out := flag.String("out", "observations.jsonl.gz", "output path (gzip JSONL file, or a directory with -segments > 1)")
+	segments := flag.Int("segments", 1, "store segments; >1 writes a segmented store directory (reads identical to a single file)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
 
 	cfg := core.Config{
 		Domains: *domains, Weeks: *weeks, Seed: *seed,
-		StorePath: *out, SkipPoC: true,
+		StorePath: *out, StoreSegments: *segments, SkipPoC: true,
 	}
 	if !*quiet {
 		cfg.Progress = func(format string, args ...any) {

@@ -8,7 +8,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
@@ -58,8 +57,20 @@ type Config struct {
 	// shard equivalence tests).
 	Shards int
 	// StorePath, when set, persists every observation to a gzip JSONL
-	// file.
+	// file — or, with StoreSegments > 1, to a segmented store directory.
 	StorePath string
+	// StoreSegments selects the segmented store layout: StorePath becomes
+	// a directory of StoreSegments per-partition gzip JSONL files plus a
+	// manifest (partitioned by the same FNV-1a domain hash as Shards), so
+	// both writing and replaying parallelize. 0 or 1 keeps the single-file
+	// format. Both layouts replay to byte-identical reports.
+	StoreSegments int
+	// FingerprintCacheSize bounds the per-shard fingerprint memo cache
+	// used on the crawl path (entries; 0 = default, negative = disable).
+	// Unchanged page bodies — the common case week over week, per the
+	// paper's 531-day mean update delay — skip re-tokenizing and hit the
+	// cache instead; results are identical either way.
+	FingerprintCacheSize int
 	// Progress, when set, receives one line per collected week.
 	Progress func(format string, args ...any)
 	// SkipPoC skips the version-validation experiment.
@@ -121,17 +132,37 @@ func (r *Results) Merge(o *Results) {
 	r.Regress.Merge(o.Regress)
 }
 
-// shardOf assigns a domain to one of n shards by FNV-1a hash. Keeping all
-// of a domain's observations in a single shard preserves the per-domain
-// week ordering the stateful collectors rely on, and makes shard merging
-// exact.
-func shardOf(domain string, n int) int {
-	if n <= 1 {
-		return 0
+// shardOf assigns a domain to one of n shards. It is store.ShardOf — the
+// one FNV-1a partition function shared with the segmented store layout,
+// so segment partition and collector-shard partition always agree.
+func shardOf(domain string, n int) int { return store.ShardOf(domain, n) }
+
+// memo builds the crawl path's per-shard fingerprint cache (nil when
+// disabled; a nil Memo degrades to plain fingerprint.Page calls).
+func (cfg Config) memo() *fingerprint.Memo {
+	if cfg.FingerprintCacheSize < 0 {
+		return nil
 	}
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(domain))
-	return int(h.Sum32() % uint32(n))
+	return fingerprint.NewMemo(cfg.FingerprintCacheSize)
+}
+
+// lockedWrite adapts a sink for concurrent shard writers. The segmented
+// writer locks per segment internally — domain-disjoint shards write
+// different segments, so they proceed in parallel — while the single-file
+// writer needs one global mutex.
+func lockedWrite(w store.Sink) func(store.Observation) error {
+	if w == nil {
+		return nil
+	}
+	if _, ok := w.(*store.SegmentedWriter); ok {
+		return w.Write
+	}
+	var mu sync.Mutex
+	return func(obs store.Observation) error {
+		mu.Lock()
+		defer mu.Unlock()
+		return w.Write(obs)
+	}
 }
 
 // Run executes the pipeline.
@@ -152,13 +183,19 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	res := newResults(cfg.Weeks, cfg.Domains)
 	res.Eco = eco
 
-	var writer *store.Writer
+	var writer store.Sink
 	if cfg.StorePath != "" {
+		var w store.Sink
 		var err error
-		writer, err = store.Create(cfg.StorePath)
+		if cfg.StoreSegments > 1 {
+			w, err = store.CreateSegmented(cfg.StorePath, cfg.StoreSegments)
+		} else {
+			w, err = store.Create(cfg.StorePath)
+		}
 		if err != nil {
 			return nil, err
 		}
+		writer = w
 	}
 
 	var err error
@@ -192,7 +229,7 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 // Shards > 1 the sites are partitioned by domain hash and each shard folds
 // its partition into a private collector set on its own goroutine, with a
 // barrier per week; the shards merge into res afterwards.
-func collectDirect(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res *Results, writer *store.Writer) error {
+func collectDirect(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res *Results, writer store.Sink) error {
 	if cfg.Shards == 1 {
 		runner := res.runner()
 		for w := 0; w < cfg.Weeks; w++ {
@@ -224,7 +261,7 @@ func collectDirect(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res *
 		shardRes[s] = newResults(cfg.Weeks, cfg.Domains)
 		runners[s] = shardRes[s].runner()
 	}
-	var wmu sync.Mutex // serializes store writes across shards
+	write := lockedWrite(writer)
 	errs := make([]error, cfg.Shards)
 	for w := 0; w < cfg.Weeks; w++ {
 		if err := ctx.Err(); err != nil {
@@ -238,11 +275,8 @@ func collectDirect(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res *
 				for _, i := range parts[s] {
 					obs := analysis.ObservationFromTruth(eco.Sites[i].Domain, eco.Truth(i, w))
 					runners[s].Observe(obs)
-					if writer != nil {
-						wmu.Lock()
-						err := writer.Write(obs)
-						wmu.Unlock()
-						if err != nil {
+					if write != nil {
+						if err := write(obs); err != nil {
 							errs[s] = err
 							return
 						}
@@ -265,15 +299,17 @@ func collectDirect(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res *
 }
 
 // crawlObservation reduces one crawled page to an Observation, running the
-// fingerprint engine on usable bodies.
-func crawlObservation(byName map[string]alexa.Domain, p crawler.Page) store.Observation {
+// fingerprint engine on usable bodies. memo, when non-nil, short-circuits
+// unchanged page bodies to their cached Detection; it must be private to
+// the calling goroutine (one memo per shard).
+func crawlObservation(byName map[string]alexa.Domain, memo *fingerprint.Memo, p crawler.Page) store.Observation {
 	dom := byName[p.Domain]
 	var det fingerprint.Detection
 	status := p.Status
 	if p.Err != nil {
 		status = 0
 	} else if status == 200 {
-		det = fingerprint.Page(p.Body, p.Domain)
+		det = memo.Page(p.Body, p.Domain)
 	}
 	return analysis.ObservationFromCrawl(dom, p.Week, status, p.Body, det)
 }
@@ -283,7 +319,7 @@ func crawlObservation(byName map[string]alexa.Domain, p crawler.Page) store.Obse
 // out by domain hash to per-shard analysis workers, so fingerprinting and
 // collection run in parallel with the crawl; the per-shard collector sets
 // merge into res afterwards.
-func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res *Results, writer *store.Writer) error {
+func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res *Results, writer store.Sink) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -317,14 +353,15 @@ func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res 
 
 	if cfg.Shards == 1 {
 		runner := res.runner()
+		memo := cfg.memo()
 		for w := 0; w < cfg.Weeks; w++ {
 			// CrawlWeek invokes the callback from a single goroutine (its
 			// documented contract, asserted by the crawler's contract
-			// tests), so the plain obsErr capture is race-free by
-			// construction.
+			// tests), so the plain obsErr capture and the memo use are
+			// race-free by construction.
 			var obsErr error
 			err := cr.CrawlWeek(ctx, w, domains, func(p crawler.Page) {
-				obs := crawlObservation(byName, p)
+				obs := crawlObservation(byName, memo, p)
 				runner.Observe(obs)
 				if writer != nil && obsErr == nil {
 					obsErr = writer.Write(obs)
@@ -344,7 +381,7 @@ func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res 
 	shardRes := make([]*Results, cfg.Shards)
 	chans := make([]chan crawler.Page, cfg.Shards)
 	errs := make([]error, cfg.Shards)
-	var wmu sync.Mutex // serializes store writes across shards
+	write := lockedWrite(writer)
 	var wg sync.WaitGroup
 	for s := 0; s < cfg.Shards; s++ {
 		shardRes[s] = newResults(cfg.Weeks, cfg.Domains)
@@ -353,17 +390,15 @@ func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res 
 		go func(s int) {
 			defer wg.Done()
 			runner := shardRes[s].runner()
+			memo := cfg.memo()
 			for p := range chans[s] {
 				if errs[s] != nil {
 					continue // drain after a failure so the feeder never blocks
 				}
-				obs := crawlObservation(byName, p)
+				obs := crawlObservation(byName, memo, p)
 				runner.Observe(obs)
-				if writer != nil {
-					wmu.Lock()
-					err := writer.Write(obs)
-					wmu.Unlock()
-					if err != nil {
+				if write != nil {
+					if err := write(obs); err != nil {
 						errs[s] = err
 					}
 				}
@@ -403,59 +438,158 @@ func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res 
 	return nil
 }
 
-// RunFromStore replays a stored observation file through the analyses
+// RunFromStore replays a stored observation dataset through the analyses
 // (Findings still come from the PoC lab, which is dataset-independent).
-// With shards > 1 the observations fan out by domain hash to per-shard
-// collector sets, merged afterwards — the stored per-domain week ordering
-// is preserved inside each shard, so the result is identical to a serial
-// replay.
+// The path may be a single gzip JSONL file or a segmented store directory
+// (see store.CreateSegmented); both formats are read transparently and
+// replay to byte-identical reports. With shards > 1 the observations fan
+// out by domain hash to per-shard collector sets, merged afterwards — the
+// stored per-domain week ordering is preserved inside each shard, so the
+// result is identical to a serial replay. When the store's segment count
+// equals the shard count the replay takes the aligned fast path: one
+// decoder goroutine per segment feeds its shard's collectors directly,
+// with no cross-goroutine handoff and pooled decode buffers.
 func RunFromStore(path string, weeks, domains, shards int) (*Results, error) {
 	if shards < 1 {
 		shards = 1
 	}
 	res := newResults(weeks, domains)
+	var err error
+	if store.IsSegmented(path) {
+		err = replaySegmented(path, weeks, domains, shards, res)
+	} else {
+		err = replayFile(path, weeks, domains, shards, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Findings, err = poclab.RunAll()
+	return res, err
+}
+
+// replayFile replays a single-file store, fanning out to shard channels
+// from the one decoder goroutine the sequential gzip stream allows.
+func replayFile(path string, weeks, domains, shards int, res *Results) error {
 	if shards == 1 {
 		runner := res.runner()
-		if err := store.ForEach(path, func(obs store.Observation) error {
+		return store.ForEach(path, func(obs store.Observation) error {
 			runner.Observe(obs)
 			return nil
+		})
+	}
+	shardRes := make([]*Results, shards)
+	chans := make([]chan store.Observation, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		shardRes[s] = newResults(weeks, domains)
+		chans[s] = make(chan store.Observation, 256)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			runner := shardRes[s].runner()
+			for obs := range chans[s] {
+				runner.Observe(obs)
+			}
+		}(s)
+	}
+	err := store.ForEach(path, func(obs store.Observation) error {
+		chans[shardOf(obs.Domain, shards)] <- obs
+		return nil
+	})
+	for _, c := range chans {
+		close(c)
+	}
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	for _, sr := range shardRes {
+		res.Merge(sr)
+	}
+	return nil
+}
+
+// replaySegmented replays a segmented store. Three shapes:
+//
+//   - shards == 1: segments decoded sequentially into one collector set
+//     (per-domain week order holds inside each segment, which is all the
+//     collectors need — whole-stream order is irrelevant to the report).
+//   - shards == segment count: the aligned fast path. Segment partition
+//     and shard partition are the same FNV-1a domain hash, so segment s
+//     holds exactly shard s's domains; each segment's decoder goroutine
+//     feeds its shard's collectors directly. No channels, and the decoder
+//     may reuse its Libs buffers because collectors never retain them.
+//   - otherwise: segments still decode concurrently, re-routing each
+//     observation to its shard channel by domain hash (a channel send
+//     retains the observation, so this path uses the plain decoder).
+func replaySegmented(dir string, weeks, domains, shards int, res *Results) error {
+	man, err := store.ReadManifest(dir)
+	if err != nil {
+		return err
+	}
+	if shards == 1 {
+		runner := res.runner()
+		return store.ForEachSegmented(dir, func(obs store.Observation) error {
+			runner.Observe(obs)
+			return nil
+		})
+	}
+	shardRes := make([]*Results, shards)
+	for s := range shardRes {
+		shardRes[s] = newResults(weeks, domains)
+	}
+	if man.Segments == shards {
+		runners := make([]*analysis.Runner, shards)
+		for s := range runners {
+			runners[s] = shardRes[s].runner()
+		}
+		if err := store.ForEachSegmentedParallel(dir, func(seg int, obs store.Observation) error {
+			runners[seg].Observe(obs)
+			return nil
 		}); err != nil {
-			return nil, err
+			return err
 		}
 	} else {
-		shardRes := make([]*Results, shards)
 		chans := make([]chan store.Observation, shards)
-		var wg sync.WaitGroup
+		var collectWG sync.WaitGroup
 		for s := 0; s < shards; s++ {
-			shardRes[s] = newResults(weeks, domains)
 			chans[s] = make(chan store.Observation, 256)
-			wg.Add(1)
+			collectWG.Add(1)
 			go func(s int) {
-				defer wg.Done()
+				defer collectWG.Done()
 				runner := shardRes[s].runner()
 				for obs := range chans[s] {
 					runner.Observe(obs)
 				}
 			}(s)
 		}
-		err := store.ForEach(path, func(obs store.Observation) error {
-			chans[shardOf(obs.Domain, shards)] <- obs
-			return nil
-		})
+		errs := make([]error, man.Segments)
+		var readWG sync.WaitGroup
+		for seg := 0; seg < man.Segments; seg++ {
+			readWG.Add(1)
+			go func(seg int) {
+				defer readWG.Done()
+				errs[seg] = store.ForEachSegment(dir, seg, func(obs store.Observation) error {
+					chans[shardOf(obs.Domain, shards)] <- obs
+					return nil
+				})
+			}(seg)
+		}
+		readWG.Wait()
 		for _, c := range chans {
 			close(c)
 		}
-		wg.Wait()
-		if err != nil {
-			return nil, err
-		}
-		for _, sr := range shardRes {
-			res.Merge(sr)
+		collectWG.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return e
+			}
 		}
 	}
-	var err error
-	res.Findings, err = poclab.RunAll()
-	return res, err
+	for _, sr := range shardRes {
+		res.Merge(sr)
+	}
+	return nil
 }
 
 // WriteReport renders every table and figure of the paper plus the headline

@@ -8,6 +8,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -81,6 +82,114 @@ func TestShardedStoreRoundTrip(t *testing.T) {
 	}
 	if reportOf(t, sharded) != reportOf(t, serial) {
 		t.Error("sharded replay report differs from serial replay")
+	}
+}
+
+// TestSegmentedStoreByteIdenticalReports is the tentpole equivalence
+// test: a segmented store must replay to a byte-identical report versus
+// the single-file store of the same run, at every segment count, and at
+// replay shard counts that hit all three replay shapes — serial, the
+// aligned one-decoder-per-segment fast path (shards == segments), and
+// the misaligned re-routing path (shards != segments).
+func TestSegmentedStoreByteIdenticalReports(t *testing.T) {
+	dir := t.TempDir()
+	base := Config{Domains: 180, Weeks: 12, Seed: 21, SkipPoC: true}
+
+	single := filepath.Join(dir, "obs.jsonl.gz")
+	cfg := base
+	cfg.StorePath = single
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunFromStore(single, base.Weeks, base.Domains, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportOf(t, ref)
+	if !strings.Contains(want, "Table 1:") {
+		t.Fatal("reference report looks empty")
+	}
+
+	for _, segments := range []int{1, 2, 4, 8} {
+		segDir := filepath.Join(dir, fmt.Sprintf("store-%d", segments))
+		cfg := base
+		cfg.StorePath = segDir
+		cfg.StoreSegments = segments
+		if _, err := Run(context.Background(), cfg); err != nil {
+			t.Fatalf("segments=%d: %v", segments, err)
+		}
+		for _, shards := range []int{1, 2, segments, segments + 3} {
+			res, err := RunFromStore(segDir, base.Weeks, base.Domains, shards)
+			if err != nil {
+				t.Fatalf("segments=%d shards=%d: %v", segments, shards, err)
+			}
+			if got := reportOf(t, res); got != want {
+				t.Errorf("segments=%d shards=%d: report differs from single-file replay",
+					segments, shards)
+			}
+		}
+	}
+}
+
+// TestSegmentedCrawlStoreRoundTrip drives the segmented writer through
+// the sharded crawl path — concurrent writers, memoized fingerprinting —
+// and checks the archive replays identically to a single-file archive of
+// the same crawl.
+func TestSegmentedCrawlStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	base := Config{Domains: 90, Weeks: 6, Seed: 4, Mode: ModeCrawl,
+		Workers: 16, Shards: 3, SkipPoC: true}
+
+	single := filepath.Join(dir, "obs.jsonl.gz")
+	cfg := base
+	cfg.StorePath = single
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	segDir := filepath.Join(dir, "obs.store")
+	cfg = base
+	cfg.StorePath = segDir
+	cfg.StoreSegments = 3
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	fromSingle, err := RunFromStore(single, base.Weeks, base.Domains, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSeg, err := RunFromStore(segDir, base.Weeks, base.Domains, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reportOf(t, fromSeg) != reportOf(t, fromSingle) {
+		t.Error("segmented crawl archive replays differently from single-file archive")
+	}
+}
+
+// TestCrawlMemoByteIdenticalReport pins that the fingerprint memo cache
+// is semantics-preserving end-to-end: a crawl with the cache disabled
+// must render the same report as one with it enabled (both serial and
+// sharded).
+func TestCrawlMemoByteIdenticalReport(t *testing.T) {
+	base := Config{Domains: 100, Weeks: 7, Seed: 6, Mode: ModeCrawl,
+		Workers: 16, SkipPoC: true}
+	noCache := base
+	noCache.FingerprintCacheSize = -1
+	plain, err := Run(context.Background(), noCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportOf(t, plain)
+	for _, shards := range []int{1, 4} {
+		cached := base
+		cached.Shards = shards
+		res, err := Run(context.Background(), cached)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got := reportOf(t, res); got != want {
+			t.Errorf("shards=%d: memoized crawl report differs from uncached crawl", shards)
+		}
 	}
 }
 

@@ -1,0 +1,52 @@
+// Package prof backs the -cpuprofile/-memprofile flags of the CLI
+// commands, so perf work on the pipeline's hot paths (store decode, crawl
+// fingerprinting) can be profiled with the stock pprof toolchain instead
+// of ad-hoc instrumentation patches.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns the function
+// that stops it and closes the file. An empty path disables profiling;
+// the returned stop is never nil either way.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		_ = f.Close()
+	}, nil
+}
+
+// WriteHeap writes a heap profile to path, running a GC first so the
+// profile reflects live memory rather than collectable garbage. An empty
+// path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

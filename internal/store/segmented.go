@@ -1,0 +1,246 @@
+// Segmented store: the parallel-I/O layout of the observation archive.
+//
+// A single gzip stream can only ever be decoded by one goroutine — the
+// compression state is sequential — so the single-file store caps replay
+// throughput at one core no matter how many analysis shards run behind
+// it. The segmented layout removes that ceiling the way industrial crawl
+// archives do (Common Crawl's segment files, BUbiNG's parallel store):
+// the archive is a directory of n independent gzip JSONL segment files
+// plus a small JSON manifest, partitioned by the same FNV-1a domain hash
+// the analysis pipeline shards by. Because segment partition == shard
+// partition, a reader with one decoder goroutine per segment can feed
+// per-shard collectors directly, with no cross-goroutine handoff, and
+// per-domain week ordering — the correctness contract of the stateful
+// collectors — holds inside every segment by construction.
+
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ManifestName is the file that marks a directory as a segmented store.
+const ManifestName = "manifest.json"
+
+// PartitionFNV1aDomain names the only partition function this layout
+// uses; readers refuse manifests declaring anything else.
+const PartitionFNV1aDomain = "fnv1a-domain"
+
+// Manifest describes a segmented store directory.
+type Manifest struct {
+	Version   int    `json:"version"`
+	Segments  int    `json:"segments"`
+	Partition string `json:"partition"`
+	// Counts holds per-segment observation counts; Total their sum.
+	Counts []int `json:"counts"`
+	Total  int   `json:"total"`
+}
+
+// ShardOf assigns a domain to one of n partitions by FNV-1a hash — the
+// single partition function shared by the segmented store layout and the
+// analysis pipeline's collector shards (core.Config.Shards). Keeping all
+// of a domain's observations in one partition preserves the per-domain
+// week ordering the stateful collectors rely on and makes shard merging
+// exact. Inlined rather than hash/fnv so the hot paths pay no allocation.
+func ShardOf(domain string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(domain); i++ {
+		h ^= uint32(domain[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+// SegmentPath returns the path of segment i inside a store directory.
+func SegmentPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%04d.jsonl.gz", i))
+}
+
+// SegmentedWriter fans observations out to per-partition segment files.
+// Unlike Writer it is safe for concurrent use: each segment has its own
+// lock, so writers hitting different segments (e.g. domain-disjoint
+// collection shards) proceed in parallel without a global mutex.
+type SegmentedWriter struct {
+	dir  string
+	segs []*Writer
+	mus  []sync.Mutex
+}
+
+// CreateSegmented creates a segmented store directory with n segment
+// files (n < 1 is treated as 1), truncating any existing segments. The
+// manifest is written on Close; a directory without one is unreadable,
+// so a crashed writer never masquerades as a complete archive.
+func CreateSegmented(dir string, n int) (*SegmentedWriter, error) {
+	if n < 1 {
+		n = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// Remove a stale manifest first: until Close rewrites it, the
+	// directory must read as incomplete.
+	if err := os.Remove(filepath.Join(dir, ManifestName)); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	w := &SegmentedWriter{dir: dir, segs: make([]*Writer, n), mus: make([]sync.Mutex, n)}
+	for i := range w.segs {
+		seg, err := Create(SegmentPath(dir, i))
+		if err != nil {
+			for j := 0; j < i; j++ {
+				_ = w.segs[j].Close()
+			}
+			return nil, err
+		}
+		w.segs[i] = seg
+	}
+	return w, nil
+}
+
+// Segments returns the segment count.
+func (w *SegmentedWriter) Segments() int { return len(w.segs) }
+
+// Write routes one observation to its domain's segment.
+func (w *SegmentedWriter) Write(obs Observation) error {
+	s := ShardOf(obs.Domain, len(w.segs))
+	w.mus[s].Lock()
+	defer w.mus[s].Unlock()
+	return w.segs[s].Write(obs)
+}
+
+// Count returns the number of observations written across all segments.
+func (w *SegmentedWriter) Count() int {
+	total := 0
+	for i := range w.segs {
+		w.mus[i].Lock()
+		total += w.segs[i].Count()
+		w.mus[i].Unlock()
+	}
+	return total
+}
+
+// Close flushes and closes every segment, then writes the manifest. The
+// manifest is only written when every segment closed cleanly — a partial
+// archive stays unreadable rather than silently short.
+func (w *SegmentedWriter) Close() error {
+	var first error
+	man := Manifest{
+		Version:   1,
+		Segments:  len(w.segs),
+		Partition: PartitionFNV1aDomain,
+		Counts:    make([]int, len(w.segs)),
+	}
+	for i, seg := range w.segs {
+		man.Counts[i] = seg.Count()
+		man.Total += seg.Count()
+		if err := seg.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return first
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(w.dir, ManifestName), append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// IsSegmented reports whether path is a segmented store directory (a
+// directory containing a manifest).
+func IsSegmented(path string) bool {
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		return false
+	}
+	_, err = os.Stat(filepath.Join(path, ManifestName))
+	return err == nil
+}
+
+// ReadManifest loads and validates a segmented store's manifest.
+func ReadManifest(dir string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("store: %s: %w", dir, err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return Manifest{}, fmt.Errorf("store: %s: corrupt manifest: %w", dir, err)
+	}
+	if man.Segments < 1 || man.Segments != len(man.Counts) {
+		return Manifest{}, fmt.Errorf("store: %s: manifest inconsistent (%d segments, %d counts)",
+			dir, man.Segments, len(man.Counts))
+	}
+	if man.Partition != PartitionFNV1aDomain {
+		return Manifest{}, fmt.Errorf("store: %s: unknown partition %q", dir, man.Partition)
+	}
+	return man, nil
+}
+
+// ForEachSegment streams one segment of a segmented store, in file order.
+func ForEachSegment(dir string, seg int, fn func(Observation) error) error {
+	return forEachFile(SegmentPath(dir, seg), false, fn)
+}
+
+// ForEachSegmented streams every observation of a segmented store to fn,
+// segment by segment in segment order. Within a domain, observations
+// arrive week-ascending (each domain lives in exactly one segment).
+func ForEachSegmented(dir string, fn func(Observation) error) error {
+	man, err := ReadManifest(dir)
+	if err != nil {
+		return err
+	}
+	for s := 0; s < man.Segments; s++ {
+		if err := ForEachSegment(dir, s, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEachSegmentedParallel decodes every segment of a segmented store
+// concurrently, one decoder goroutine per segment, calling fn(seg, obs)
+// from that segment's goroutine. fn is therefore called concurrently
+// across segments but serially within one, and the Observation reuses
+// its Libs backing array between calls — fn must consume it before
+// returning, not retain it (collector Observe calls qualify; channel
+// sends do not). The first error — decode-side or from fn — aborts all
+// segments' results; the other goroutines still drain to completion.
+func ForEachSegmentedParallel(dir string, fn func(seg int, obs Observation) error) error {
+	man, err := ReadManifest(dir)
+	if err != nil {
+		return err
+	}
+	errs := make([]error, man.Segments)
+	var wg sync.WaitGroup
+	for s := 0; s < man.Segments; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = forEachFile(SegmentPath(dir, s), true, func(obs Observation) error {
+				return fn(s, obs)
+			})
+		}(s)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

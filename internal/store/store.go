@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 )
 
 // LibRecord is one detected library inclusion on a page.
@@ -85,7 +86,15 @@ func (o Observation) Lib(slug string) (LibRecord, bool) {
 	return LibRecord{}, false
 }
 
-// Writer streams observations to a gzip JSONL file.
+// Sink is the write side shared by the single-file and segmented stores.
+type Sink interface {
+	Write(Observation) error
+	Count() int
+	Close() error
+}
+
+// Writer streams observations to a gzip JSONL file. It is not safe for
+// concurrent use; callers sharing one Writer must serialize Write.
 type Writer struct {
 	f   *os.File
 	gz  *gzip.Writer
@@ -94,21 +103,54 @@ type Writer struct {
 	n   int
 }
 
+// Pools for the pieces every writer and reader re-creates: gzip
+// compressor/decompressor state (the dominant allocation — the flate
+// tables alone are hundreds of KiB) and the 64 KiB scan/flush buffers.
+// All of them support Reset, so recycling is free of correctness risk.
+var (
+	gzwPool = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+	gzrPool = sync.Pool{} // holds *gzip.Reader; empty Get means "make one"
+	bufwPool = sync.Pool{New: func() any {
+		return bufio.NewWriterSize(io.Discard, 1<<16)
+	}}
+	bufrPool = sync.Pool{New: func() any {
+		return bufio.NewReaderSize(nil, 1<<16)
+	}}
+)
+
+func newGzipReader(r io.Reader) (*gzip.Reader, error) {
+	if v := gzrPool.Get(); v != nil {
+		gz := v.(*gzip.Reader)
+		if err := gz.Reset(r); err != nil {
+			gzrPool.Put(gz)
+			return nil, err
+		}
+		return gz, nil
+	}
+	return gzip.NewReader(r)
+}
+
 // Create opens a new observation file, truncating any existing one.
 func Create(path string) (*Writer, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
-	gz := gzip.NewWriter(f)
-	buf := bufio.NewWriterSize(gz, 1<<16)
+	gz := gzwPool.Get().(*gzip.Writer)
+	gz.Reset(f)
+	buf := bufwPool.Get().(*bufio.Writer)
+	buf.Reset(gz)
 	return &Writer{f: f, gz: gz, buf: buf, enc: json.NewEncoder(buf)}, nil
 }
 
-// Write appends one observation.
+// Write appends one observation. Failed writes are not counted: Count
+// reflects only observations the encoder accepted.
 func (w *Writer) Write(obs Observation) error {
+	if err := w.enc.Encode(obs); err != nil {
+		return err
+	}
 	w.n++
-	return w.enc.Encode(obs)
+	return nil
 }
 
 // Count returns the number of observations written so far.
@@ -125,34 +167,71 @@ func (w *Writer) Close() error {
 	keep(w.buf.Flush())
 	keep(w.gz.Close())
 	keep(w.f.Close())
+	bufwPool.Put(w.buf)
+	gzwPool.Put(w.gz)
+	w.buf, w.gz = nil, nil
 	return first
 }
 
-// ForEach streams every observation of a file to fn, in file order. fn
-// returning an error aborts the scan with that error.
+// ForEach streams every observation of a store to fn, in file order. fn
+// returning an error aborts the scan with that error. The path may be a
+// single gzip JSONL file or a segmented store directory (see
+// CreateSegmented); segmented stores are read segment by segment, in
+// segment order. Read-side failures (missing file, truncated or corrupt
+// gzip, malformed JSON) come back wrapped with a "store:" prefix naming
+// the file; fn's own errors pass through unwrapped.
 func ForEach(path string, fn func(Observation) error) error {
+	if IsSegmented(path) {
+		return ForEachSegmented(path, fn)
+	}
+	return forEachFile(path, false, fn)
+}
+
+// forEachFile scans one gzip JSONL file. With reuse set, the Observation
+// handed to fn shares its Libs backing array with the previous call — fn
+// must not retain it (the no-retain fast path of the parallel readers).
+func forEachFile(path string, reuse bool, fn func(Observation) error) error {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
-	gz, err := gzip.NewReader(f)
+	gz, err := newGzipReader(f)
 	if err != nil {
 		return fmt.Errorf("store: %s: %w", path, err)
 	}
-	defer gz.Close()
-	return decodeStream(gz, fn)
+	defer gzrPool.Put(gz)
+	return decodeStream(gz, path, reuse, fn)
 }
 
-func decodeStream(r io.Reader, fn func(Observation) error) error {
-	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<16))
+// decodeStream decodes one gzip-decompressed JSONL stream. Decode-side
+// errors are wrapped with the store prefix and path; callback errors are
+// returned as-is. A stream cut mid-observation (truncated gzip footer,
+// severed connection) surfaces as io.ErrUnexpectedEOF inside the wrap, so
+// callers can distinguish corruption from a clean end of stream.
+func decodeStream(r io.Reader, path string, reuse bool, fn func(Observation) error) error {
+	br := bufrPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	defer bufrPool.Put(br)
+	dec := json.NewDecoder(br)
+	var obs Observation
 	for {
-		var obs Observation
+		if reuse {
+			// Keep the Libs capacity; json.Decode refills it in place.
+			// The reused slots must be zeroed first: decoding merges into
+			// existing elements, so a field omitted by omitempty would
+			// otherwise keep the previous record's value.
+			libs := obs.Libs[:cap(obs.Libs)]
+			clear(libs)
+			obs = Observation{Libs: libs[:0]}
+		} else {
+			obs = Observation{}
+		}
 		if err := dec.Decode(&obs); err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
-			return err
+			return fmt.Errorf("store: %s: corrupt stream: %w", path, err)
 		}
 		if err := fn(obs); err != nil {
 			return err

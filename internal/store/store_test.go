@@ -2,11 +2,14 @@ package store
 
 import (
 	"compress/gzip"
+	"encoding/json"
 	"errors"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -205,6 +208,119 @@ func TestCorruptFileErrors(t *testing.T) {
 	}
 	if err := ForEach(bad, func(Observation) error { return nil }); err == nil {
 		t.Error("corrupt JSON should error")
+	}
+}
+
+// failWriter fails every write after the first failAfter bytes.
+type failWriter struct {
+	wrote     int
+	failAfter int
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.wrote+len(p) > w.failAfter {
+		return 0, errors.New("failWriter: write rejected")
+	}
+	w.wrote += len(p)
+	return len(p), nil
+}
+
+// TestWriteCountsOnlySuccessfulWrites is the regression test for Count
+// overcounting: a Write whose encode fails must not bump the counter —
+// Count is the manifest's source of truth, so an overcount would record
+// observations that never reached the file.
+func TestWriteCountsOnlySuccessfulWrites(t *testing.T) {
+	obs := sample(0)
+	line, err := json.Marshal(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Room for exactly two encoded lines (json.Encoder appends '\n').
+	fw := &failWriter{failAfter: 2 * (len(line) + 1)}
+	w := &Writer{enc: json.NewEncoder(fw)}
+	for i := 0; i < 2; i++ {
+		if err := w.Write(obs); err != nil {
+			t.Fatalf("write %d should succeed: %v", i, err)
+		}
+	}
+	if err := w.Write(obs); err == nil {
+		t.Fatal("third write must fail")
+	}
+	if got := w.Count(); got != 2 {
+		t.Errorf("Count = %d after 2 successful + 1 failed write, want 2", got)
+	}
+}
+
+// TestTruncatedGzipFooter: a store file cut mid-stream — a crashed or
+// killed writer — must surface as a wrapped store error marking the
+// stream corrupt, not succeed short or leak a bare decoder error.
+func TestTruncatedGzipFooter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.jsonl.gz")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := w.Write(sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sever the gzip footer (8 bytes of CRC+length) and then some.
+	if err := os.WriteFile(path, data[:len(data)-12], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = ForEach(path, func(Observation) error { return nil })
+	if err == nil {
+		t.Fatal("truncated gzip must error")
+	}
+	if !strings.Contains(err.Error(), "store:") {
+		t.Errorf("error not store-wrapped: %v", err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncation should surface io.ErrUnexpectedEOF, got: %v", err)
+	}
+}
+
+// TestGarbageMidFile: flipped bytes inside the compressed stream must
+// surface as a wrapped store error, whichever layer (flate, gzip CRC,
+// JSON) catches them first.
+func TestGarbageMidFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.jsonl.gz")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := w.Write(sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(data) / 2; i < len(data)/2+16 && i < len(data); i++ {
+		data[i] ^= 0xff
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = ForEach(path, func(Observation) error { return nil })
+	if err == nil {
+		t.Fatal("corrupt gzip body must error")
+	}
+	if !strings.Contains(err.Error(), "store:") {
+		t.Errorf("error not store-wrapped: %v", err)
 	}
 }
 

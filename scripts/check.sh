@@ -23,4 +23,11 @@ go test -run '^$' -fuzz '^FuzzTokenize$' -fuzztime "$FUZZTIME" ./internal/htmlx
 go test -run '^$' -fuzz '^FuzzParseVersion$' -fuzztime "$FUZZTIME" ./internal/semver
 go test -run '^$' -fuzz '^FuzzRange$' -fuzztime "$FUZZTIME" ./internal/semver
 
+# One-iteration bench smoke of the store/fingerprint perf ablations: not
+# a measurement, just proof the benchmarks still build, run, and verify
+# their own observation counts.
+echo "==> bench smoke (store read + fingerprint memo, 1 iteration)"
+go test -run '^$' -bench 'BenchmarkStoreReadSegments|BenchmarkFingerprintMemo' \
+	-benchmem -benchtime 1x .
+
 echo "OK"
