@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-store check fuzz-smoke
+.PHONY: build test race bench bench-store bench-crawl check fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,12 @@ bench:
 # (longer measurement: make bench-store BENCHTIME=2s).
 bench-store:
 	BENCHTIME=$(BENCHTIME) sh scripts/bench_store.sh
+
+# bench-crawl runs the crawl-path throughput ablation (plain vs polite
+# resilience layer) and appends fetch-latency/throughput numbers to
+# BENCH_crawl.json (longer measurement: make bench-crawl BENCHTIME=2s).
+bench-crawl:
+	BENCHTIME=$(BENCHTIME) sh scripts/bench_crawl.sh
 
 # check is the full verification gate: vet + build + race tests + short
 # fuzz smoke runs (FUZZTIME=3s by default; override: make check FUZZTIME=30s).

@@ -1,0 +1,61 @@
+package clientres
+
+// Crawl-path throughput ablation: BenchmarkCrawlWeek crawls one full
+// synthetic week over loopback HTTP with the resilience layer off (plain)
+// and on (polite), reporting pages/s and the crawler's own p50/p99 fetch
+// latency. The polite variant prices the politeness/breaker bookkeeping on
+// the hot path — on a fault-free ecosystem it must track the plain variant
+// closely, since per-host pressure never builds when every host is hit
+// once per week. `make bench-crawl` appends machine-readable results to
+// BENCH_crawl.json.
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"clientres/internal/crawler"
+	"clientres/internal/webgen"
+	"clientres/internal/webserver"
+)
+
+func BenchmarkCrawlWeek(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		polite bool
+	}{{"plain", false}, {"polite", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			eco := webgen.New(webgen.Config{Domains: 300, Seed: 9})
+			srv := httptest.NewServer(webserver.New(eco))
+			defer srv.Close()
+			cr := crawler.New(crawler.Config{
+				BaseURL: srv.URL, Workers: 32,
+				Resilience: crawler.Resilience{
+					Enabled: mode.polite,
+					// Successive iterations re-crawl the same week, so a
+					// real gap would meter the benchmark, not the crawler.
+					MinGap: time.Microsecond,
+				},
+			})
+			domains := make([]string, len(eco.Sites))
+			for i, s := range eco.Sites {
+				domains[i] = s.Domain.Name
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cr.CrawlWeek(context.Background(), i%eco.Cfg.Weeks, domains, func(crawler.Page) {}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			pages := float64(b.N) * float64(len(domains))
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(pages/sec, "pages/s")
+			}
+			m := cr.Metrics()
+			b.ReportMetric(float64(m.FetchP50.Nanoseconds()), "p50-ns")
+			b.ReportMetric(float64(m.FetchP99.Nanoseconds()), "p99-ns")
+		})
+	}
+}

@@ -11,20 +11,16 @@ package clientres
 // Run with:  go test -bench=. -benchmem
 
 import (
-	"context"
 	"io"
-	"net/http/httptest"
 	"sync"
 	"testing"
 
 	"clientres/internal/analysis"
-	"clientres/internal/crawler"
 	"clientres/internal/fingerprint"
 	"clientres/internal/poclab"
 	"clientres/internal/report"
 	"clientres/internal/store"
 	"clientres/internal/webgen"
-	"clientres/internal/webserver"
 )
 
 // benchDomains scales the benchmark dataset. 800 domains × 201 weeks =
@@ -370,25 +366,9 @@ func BenchmarkRenderPage(b *testing.B) {
 	}
 }
 
-// BenchmarkCrawlWeek measures end-to-end crawl throughput over real HTTP
-// for one snapshot week of a small population.
-func BenchmarkCrawlWeek(b *testing.B) {
-	eco := webgen.New(webgen.Config{Domains: 150, Seed: 3})
-	srv := httptest.NewServer(webserver.New(eco))
-	defer srv.Close()
-	c := crawler.New(crawler.Config{BaseURL: srv.URL, Workers: 32})
-	domains := make([]string, len(eco.Sites))
-	for i, s := range eco.Sites {
-		domains[i] = s.Domain.Name
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		err := c.CrawlWeek(context.Background(), i%eco.Cfg.Weeks, domains, func(crawler.Page) {})
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// BenchmarkCrawlWeek (end-to-end crawl throughput over real HTTP) lives in
+// bench_crawl_test.go, where it ablates the resilience layer (plain vs
+// polite) and reports fetch-latency quantiles.
 
 // BenchmarkPoCSweep measures one full PoC validation sweep (the paper's 85
 // jQuery environments and every other catalog).

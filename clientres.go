@@ -23,6 +23,7 @@ import (
 
 	"clientres/internal/analysis"
 	"clientres/internal/core"
+	"clientres/internal/crawler"
 	"clientres/internal/fingerprint"
 	"clientres/internal/poclab"
 	"clientres/internal/vulndb"
@@ -45,6 +46,11 @@ type Config struct {
 	Crawl bool
 	// Workers bounds crawl concurrency.
 	Workers int
+	// PoliteCrawl enables the crawl path's per-host resilience layer —
+	// politeness limiter, circuit breaker, weekly retry budget — with
+	// default settings. Reports are byte-identical with it on or off; the
+	// layer changes how failures cost, not what gets observed.
+	PoliteCrawl bool
 	// Shards parallelizes the analysis pipeline across domain-hash
 	// partitions (default 1 = serial). Sharded runs produce byte-identical
 	// reports to serial runs of the same configuration.
@@ -84,6 +90,7 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	inner, err := core.Run(ctx, core.Config{
 		Domains: cfg.Domains, Weeks: cfg.Weeks, Seed: cfg.Seed,
 		Mode: mode, Workers: cfg.Workers, Shards: cfg.Shards,
+		Resilience: crawler.Resilience{Enabled: cfg.PoliteCrawl},
 		StorePath: cfg.StorePath, StoreSegments: cfg.StoreSegments,
 		FingerprintCacheSize: cfg.FingerprintCacheSize,
 		Progress:             cfg.Progress,

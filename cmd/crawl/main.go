@@ -8,6 +8,7 @@
 //
 //	crawl -domains 2000 -weeks 50 -workers 64 -shards 4 -out crawl.jsonl.gz
 //	crawl -shards 4 -segments 4 -out crawl.store -cpuprofile crawl.pprof
+//	crawl -politeness -chaos 0.2 -weeks 8 -out drill.jsonl.gz   # fault drill
 package main
 
 import (
@@ -17,8 +18,10 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"clientres/internal/core"
+	"clientres/internal/crawler"
 	"clientres/internal/prof"
 	"clientres/internal/webgen"
 )
@@ -34,6 +37,14 @@ func main() {
 	out := flag.String("out", "crawl.jsonl.gz", "output path (gzip JSONL file, or a directory with -segments > 1)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	politeness := flag.Bool("politeness", false, "enable the per-host resilience layer: politeness limiter, circuit breaker, weekly retry budget (reports are identical either way)")
+	hostGap := flag.Duration("hostgap", 15*time.Millisecond, "minimum per-host inter-request gap (with -politeness)")
+	hostParallel := flag.Int("host-parallel", 2, "max in-flight requests per host (with -politeness)")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive connection failures that open a host's circuit (with -politeness)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "open-circuit shed time before a half-open probe (with -politeness)")
+	retryBudget := flag.Int("retry-budget", 0, "per-week shared retry budget (0 = one per domain, negative = unlimited; with -politeness)")
+	chaos := flag.Float64("chaos", 0, "fault-injection rate per (domain, week) on the loopback server: stalls, resets, truncated bodies, slow-loris (0 disables)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault schedule seed (with -chaos)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -49,18 +60,35 @@ func main() {
 		Mode: core.ModeCrawl, Workers: *workers, Shards: *shards,
 		StorePath: *out, StoreSegments: *segments,
 		FingerprintCacheSize: *fpcache,
-		SkipPoC:              true,
+		Resilience: crawler.Resilience{
+			Enabled:          *politeness,
+			MaxPerHost:       *hostParallel,
+			MinGap:           *hostGap,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+			RetryBudget:      *retryBudget,
+		},
+		ChaosRate: *chaos,
+		ChaosSeed: *chaosSeed,
+		SkipPoC:   true,
 		Progress: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
 	}
-	_, err = core.Run(ctx, cfg)
+	res, err := core.Run(ctx, cfg)
 	stopCPU()
 	if err != nil {
 		log.Fatalf("crawl: %v", err)
 	}
 	if err := prof.WriteHeap(*memprofile); err != nil {
 		log.Fatalf("crawl: %v", err)
+	}
+	if m := res.Crawl; m != nil {
+		fmt.Fprintf(os.Stderr,
+			"crawl metrics: attempts=%d retries=%d successes=%d conn_failures=%d breaker_trips=%d breaker_shed=%d budget_exhausted=%d bytes=%d fetch_p50=%s fetch_p99=%s\n",
+			m.Attempts, m.Retries, m.Successes, m.ConnFailures,
+			m.BreakerTrips, m.BreakerShed, m.BudgetExhausted, m.Bytes,
+			m.FetchP50, m.FetchP99)
 	}
 	fmt.Printf("crawled %d domains x %d weeks into %s\n", *domains, *weeks, *out)
 }

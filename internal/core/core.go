@@ -49,6 +49,19 @@ type Config struct {
 	Mode Mode
 	// Workers bounds crawl concurrency (ModeCrawl).
 	Workers int
+	// Resilience parameterizes the crawl path's per-host politeness
+	// limiter, circuit breaker, and weekly retry budget (ModeCrawl; the
+	// zero value disables the layer). On a fault-free ecosystem the layer
+	// changes no observation: reports are byte-identical with it on or off
+	// (proven by the resilience equivalence test).
+	Resilience crawler.Resilience
+	// ChaosRate, when positive, makes the loopback web server inject
+	// deterministic faults — stalls, mid-body resets, truncated bodies,
+	// slow-loris drips — into that fraction of (domain, week) responses
+	// (ModeCrawl; a fault drill for the resilience layer).
+	ChaosRate float64
+	// ChaosSeed selects the fault schedule.
+	ChaosSeed int64
 	// Shards parallelizes the analysis pipeline (default 1 = serial).
 	// Observations are partitioned across shards by domain hash; each
 	// shard folds its partition into a private collector set, merged
@@ -93,6 +106,13 @@ type Results struct {
 	// extension).
 	Regress  *analysis.Regressions
 	Findings []poclab.Finding
+	// Crawl carries the crawler's resilience counters — attempts, retries,
+	// connection failures, breaker trips/sheds, bytes, fetch latency
+	// quantiles — after a ModeCrawl run; nil on the direct and replay
+	// paths. It is diagnostic output, not report input: WriteReport never
+	// reads it, which is what keeps crawl reports byte-comparable across
+	// resilience configurations.
+	Crawl *crawler.MetricsSnapshot
 }
 
 // newResults builds an empty collector set for a study shape.
@@ -324,7 +344,11 @@ func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res 
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: webserver.New(eco)}
+	ws := webserver.New(eco)
+	if cfg.ChaosRate > 0 {
+		ws.Chaos = &webserver.Chaos{Seed: cfg.ChaosSeed, Rate: cfg.ChaosRate}
+	}
+	srv := &http.Server{Handler: ws}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -342,9 +366,15 @@ func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res 
 		workers = 64
 	}
 	cr := crawler.New(crawler.Config{
-		BaseURL: "http://" + ln.Addr().String(),
-		Workers: workers,
+		BaseURL:    "http://" + ln.Addr().String(),
+		Workers:    workers,
+		Backoff:    crawler.Backoff{Seed: cfg.Seed},
+		Resilience: cfg.Resilience,
 	})
+	defer func() {
+		snap := cr.Metrics()
+		res.Crawl = &snap
+	}()
 	byName := eco.List.ByName()
 	domains := make([]string, len(eco.Sites))
 	for i, s := range eco.Sites {

@@ -1,0 +1,109 @@
+package core
+
+// Crawl-path resilience at the pipeline level: on a fault-free ecosystem
+// the resilience layer must be observationally invisible (byte-identical
+// report), and under injected chaos the pipeline must complete with
+// counters that reconcile against the deterministic fault schedule.
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"clientres/internal/crawler"
+	"clientres/internal/webserver"
+)
+
+func TestResilientCrawlByteIdenticalReport(t *testing.T) {
+	base := Config{Domains: 120, Weeks: 8, Seed: 5, Mode: ModeCrawl, Workers: 16, SkipPoC: true}
+	plain, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportOf(t, plain)
+	if !strings.Contains(want, "Table 1:") {
+		t.Fatal("baseline report looks empty")
+	}
+
+	cfg := base
+	cfg.Resilience = crawler.Resilience{
+		Enabled: true,
+		MinGap:  time.Millisecond, // keep the test quick; semantics don't depend on the gap
+	}
+	polite, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportOf(t, polite); got != want {
+		t.Error("resilience layer changed the report; it must only change failure cost, not observations")
+	}
+	if plain.Crawl == nil || polite.Crawl == nil {
+		t.Fatal("crawl metrics missing from Results")
+	}
+	// Same ecosystem, same statuses: the polite run may shed dead hosts
+	// (breaker) but must succeed on exactly the same fetches.
+	if plain.Crawl.Successes != polite.Crawl.Successes {
+		t.Errorf("successes differ: plain %d vs polite %d", plain.Crawl.Successes, polite.Crawl.Successes)
+	}
+	if polite.Crawl.BreakerTrips == 0 {
+		t.Error("an 8-week crawl with permanently-dead hosts should trip some breakers")
+	}
+}
+
+func TestDirectRunHasNoCrawlMetrics(t *testing.T) {
+	res, err := Run(context.Background(), Config{Domains: 60, Weeks: 4, Seed: 2, SkipPoC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crawl != nil {
+		t.Error("direct collection must not report crawl metrics")
+	}
+}
+
+// TestChaosCrawlCompletesAndCounts runs the full pipeline against an
+// ecosystem injecting all four fault types and checks (a) it terminates,
+// (b) the counters floor-match the schedule: every scheduled reset or
+// truncate on an alive page defeats the default 10s fetch timeout's body
+// read, so wire failures can't be fewer than those.
+func TestChaosCrawlCompletesAndCounts(t *testing.T) {
+	cfg := Config{
+		Domains: 40, Weeks: 3, Seed: 5, Mode: ModeCrawl, Workers: 16, SkipPoC: true,
+		ChaosRate: 0.25, ChaosSeed: 9,
+		Resilience: crawler.Resilience{Enabled: true, MinGap: time.Millisecond},
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reportOf(t, res), "Table 1:") {
+		t.Fatal("chaos crawl produced an empty report")
+	}
+	if res.Crawl == nil {
+		t.Fatal("crawl metrics missing")
+	}
+
+	// Recompute the schedule the server used (same seed, same hash).
+	chaos := &webserver.Chaos{Seed: cfg.ChaosSeed, Rate: cfg.ChaosRate}
+	hardFaults := 0
+	for i := range res.Eco.Sites {
+		for w := 0; w < cfg.Weeks; w++ {
+			if res.Eco.Truth(i, w).Status == 0 {
+				continue
+			}
+			switch chaos.FaultFor(w, res.Eco.Sites[i].Domain.Name) {
+			case webserver.FaultReset, webserver.FaultTruncate:
+				hardFaults++
+			}
+		}
+	}
+	if hardFaults == 0 {
+		t.Fatal("schedule injected no hard faults; pick another seed")
+	}
+	if res.Crawl.ConnFailures < int64(hardFaults) {
+		t.Errorf("wire failures %d < %d scheduled hard faults", res.Crawl.ConnFailures, hardFaults)
+	}
+	if res.Crawl.Retries == 0 {
+		t.Error("hard faults with the default retry policy should consume retries")
+	}
+}

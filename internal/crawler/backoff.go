@@ -1,0 +1,68 @@
+package crawler
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"time"
+)
+
+// Backoff computes the delay schedule between retry attempts: an
+// exponential base*Factor^(attempt-1) capped at Max, scaled by a
+// deterministic jitter factor in [1/2, 1). The jitter is a pure function of
+// (Seed, host, attempt), so two crawlers with the same seed produce the
+// same schedule — tests can pin it — while different hosts still spread
+// their retries instead of thundering in lockstep.
+type Backoff struct {
+	// Base is the un-jittered first-retry delay (default 50ms, matching the
+	// fixed sleep this schedule replaced).
+	Base time.Duration
+	// Max caps the un-jittered delay (default 2s).
+	Max time.Duration
+	// Factor is the per-attempt growth (default 2; values below 1 are
+	// treated as the default).
+	Factor float64
+	// Seed selects the jitter stream.
+	Seed int64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	return b
+}
+
+// Delay returns the sleep preceding retry attempt `attempt` (1-based)
+// against host. It is safe on a zero-value Backoff, which uses the
+// defaults.
+func (b Backoff) Delay(host string, attempt int) time.Duration {
+	b = b.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(b.Base) * math.Pow(b.Factor, float64(attempt-1))
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	return time.Duration(d * b.jitter(host, attempt))
+}
+
+// jitter maps (Seed, host, attempt) to [1/2, 1) via FNV-1a. The top 53 bits
+// of the hash become the uniform fraction, the mantissa width of float64.
+func (b Backoff) jitter(host string, attempt int) float64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(b.Seed))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(attempt))
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(host))
+	u := h.Sum64() >> 11
+	return 0.5 + 0.5*float64(u)/float64(uint64(1)<<53)
+}

@@ -1,0 +1,83 @@
+package crawler
+
+import (
+	"testing"
+	"time"
+)
+
+// The backoff schedule is deterministic: same (Seed, host, attempt) → same
+// delay, every time. Tests (and incident reproductions) can pin schedules.
+func TestBackoffDeterministic(t *testing.T) {
+	a := Backoff{Seed: 42}
+	b := Backoff{Seed: 42}
+	for attempt := 1; attempt <= 8; attempt++ {
+		for _, host := range []string{"news1.com", "shop2.org", "blog3.net"} {
+			if da, db := a.Delay(host, attempt), b.Delay(host, attempt); da != db {
+				t.Errorf("seed 42 %s attempt %d: %v != %v", host, attempt, da, db)
+			}
+		}
+	}
+}
+
+// Each delay lands in [raw/2, raw) where raw is the capped exponential
+// base*Factor^(attempt-1) — jitter halves at worst, never exceeds.
+func TestBackoffBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second, Factor: 2, Seed: 1}
+	for attempt := 1; attempt <= 10; attempt++ {
+		raw := 100 * time.Millisecond << (attempt - 1)
+		if raw > 2*time.Second {
+			raw = 2 * time.Second
+		}
+		d := b.Delay("site.example", attempt)
+		if d < raw/2 || d >= raw {
+			t.Errorf("attempt %d: delay %v outside [%v, %v)", attempt, d, raw/2, raw)
+		}
+	}
+}
+
+// The cap holds: late attempts never exceed Max.
+func TestBackoffCap(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond, Max: 300 * time.Millisecond, Seed: 3}
+	for attempt := 5; attempt <= 30; attempt++ {
+		if d := b.Delay("slow.example", attempt); d >= 300*time.Millisecond {
+			t.Errorf("attempt %d: delay %v ≥ cap", attempt, d)
+		}
+	}
+}
+
+// Different hosts draw different jitter so synchronized failures don't
+// retry in lockstep; different seeds reshuffle the whole schedule.
+func TestBackoffJitterVaries(t *testing.T) {
+	b := Backoff{Seed: 7}
+	hosts := []string{"a.com", "b.com", "c.com", "d.com", "e.com"}
+	seen := map[time.Duration]bool{}
+	for _, h := range hosts {
+		seen[b.Delay(h, 1)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("all %d hosts share one first-retry delay; jitter is not per-host", len(hosts))
+	}
+	other := Backoff{Seed: 8}
+	diff := 0
+	for _, h := range hosts {
+		if b.Delay(h, 1) != other.Delay(h, 1) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("changing the seed changed no delay")
+	}
+}
+
+// The zero value works and reproduces the old fixed-sleep magnitude for
+// the first retry (50ms base, jittered down to no less than half).
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	d := b.Delay("any.example", 1)
+	if d < 25*time.Millisecond || d >= 50*time.Millisecond {
+		t.Errorf("zero-value first delay %v outside [25ms, 50ms)", d)
+	}
+	if d2 := b.Delay("any.example", 0); d2 != d {
+		t.Errorf("attempt < 1 should clamp to 1: %v != %v", d2, d)
+	}
+}

@@ -1,0 +1,134 @@
+package crawler
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is a per-host circuit breaker. Each host's circuit moves
+// closed → open after `threshold` consecutive connection-level failures,
+// sheds every request while open, and after `cooldown` admits exactly one
+// half-open probe at a time: a successful probe closes the circuit, a
+// failed one re-opens it for another cooldown. HTTP error statuses never
+// touch the breaker — they are data, not host failures.
+//
+// The breaker exists so hosts that are down stay cheap: a dead host costs
+// one timeout per cooldown instead of (retries+1) timeouts per fetch, and
+// the shed fetches are recorded as connection failures without consuming
+// the retry budget.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for deterministic tests
+
+	mu    sync.Mutex
+	hosts map[string]*hostBreaker
+}
+
+type breakerState uint8
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+type hostBreaker struct {
+	state    breakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker builds a Breaker. Non-positive arguments select the defaults
+// (threshold 3, cooldown 30s).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	return &Breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		hosts:     make(map[string]*hostBreaker),
+	}
+}
+
+// Allow reports whether a request to host may proceed. While the circuit is
+// open it returns false until the cooldown elapses, then admits a single
+// half-open probe; further requests are shed until that probe resolves via
+// Success or Failure.
+func (b *Breaker) Allow(host string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	hb := b.hosts[host]
+	if hb == nil {
+		return true // no history: closed
+	}
+	switch hb.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if b.now().Sub(hb.openedAt) < b.cooldown {
+			return false
+		}
+		hb.state = stateHalfOpen
+		hb.probing = true
+		return true
+	default: // half-open
+		if hb.probing {
+			return false
+		}
+		hb.probing = true
+		return true
+	}
+}
+
+// Success records a completed request, closing the host's circuit and
+// resetting its failure streak.
+func (b *Breaker) Success(host string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	hb := b.hosts[host]
+	if hb == nil {
+		return
+	}
+	hb.state = stateClosed
+	hb.fails = 0
+	hb.probing = false
+}
+
+// Failure records a connection-level failure and reports whether it tripped
+// the circuit open — either the threshold'th consecutive failure of a
+// closed circuit or a failed half-open probe. Failures arriving while the
+// circuit is already open (requests that passed Allow before the trip) are
+// absorbed without re-counting.
+func (b *Breaker) Failure(host string) (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	hb := b.hosts[host]
+	if hb == nil {
+		hb = &hostBreaker{}
+		b.hosts[host] = hb
+	}
+	switch hb.state {
+	case stateOpen:
+		return false
+	case stateHalfOpen:
+		hb.state = stateOpen
+		hb.openedAt = b.now()
+		hb.probing = false
+		return true
+	default:
+		hb.fails++
+		if hb.fails < b.threshold {
+			return false
+		}
+		hb.state = stateOpen
+		hb.openedAt = b.now()
+		return true
+	}
+}

@@ -1,0 +1,138 @@
+package crawler
+
+import (
+	"testing"
+	"time"
+)
+
+// testClock is an injectable, manually-advanced clock for breaker tests.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *testClock) {
+	b := NewBreaker(threshold, cooldown)
+	clk := &testClock{t: time.Unix(1_700_000_000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	host := "flaky.example"
+	if !b.Allow(host) {
+		t.Fatal("fresh host should be allowed")
+	}
+	if b.Failure(host) {
+		t.Error("failure 1 should not trip")
+	}
+	if b.Failure(host) {
+		t.Error("failure 2 should not trip")
+	}
+	if !b.Allow(host) {
+		t.Error("closed circuit under threshold should still allow")
+	}
+	if !b.Failure(host) {
+		t.Error("failure 3 should trip the circuit")
+	}
+	if b.Allow(host) {
+		t.Error("open circuit should shed")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	host := "recovers.example"
+	b.Failure(host)
+	b.Failure(host)
+	b.Success(host)
+	if b.Failure(host) || b.Failure(host) {
+		t.Error("streak should have reset on success; two failures must not trip")
+	}
+	if !b.Failure(host) {
+		t.Error("third consecutive failure after reset should trip")
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	b, clk := newTestBreaker(2, 30*time.Second)
+	host := "down-then-up.example"
+	b.Failure(host)
+	if !b.Failure(host) {
+		t.Fatal("second failure should trip")
+	}
+	if b.Allow(host) {
+		t.Fatal("should shed during cooldown")
+	}
+	clk.advance(29 * time.Second)
+	if b.Allow(host) {
+		t.Fatal("cooldown not yet elapsed")
+	}
+	clk.advance(2 * time.Second)
+	if !b.Allow(host) {
+		t.Fatal("cooldown elapsed: one half-open probe should be admitted")
+	}
+	if b.Allow(host) {
+		t.Error("only one probe at a time while half-open")
+	}
+	b.Success(host)
+	if !b.Allow(host) || !b.Allow(host) {
+		t.Error("successful probe should close the circuit fully")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(2, 10*time.Second)
+	host := "still-down.example"
+	b.Failure(host)
+	b.Failure(host)
+	clk.advance(11 * time.Second)
+	if !b.Allow(host) {
+		t.Fatal("probe should be admitted after cooldown")
+	}
+	if !b.Failure(host) {
+		t.Error("failed probe should count as a trip")
+	}
+	if b.Allow(host) {
+		t.Error("failed probe should re-open the circuit")
+	}
+	clk.advance(11 * time.Second)
+	if !b.Allow(host) {
+		t.Error("a fresh cooldown should admit another probe")
+	}
+}
+
+// Stragglers — requests that passed Allow before the trip and failed after
+// it — must not re-count as trips or push the cooldown out.
+func TestBreakerAbsorbsFailuresWhileOpen(t *testing.T) {
+	b, clk := newTestBreaker(1, 10*time.Second)
+	host := "stragglers.example"
+	if !b.Failure(host) {
+		t.Fatal("threshold 1 should trip on the first failure")
+	}
+	clk.advance(9 * time.Second)
+	if b.Failure(host) {
+		t.Error("failure while open must not count as a new trip")
+	}
+	clk.advance(2 * time.Second)
+	if !b.Allow(host) {
+		t.Error("straggler failures must not extend the cooldown")
+	}
+}
+
+// Hosts are independent: one melting down never sheds another.
+func TestBreakerPerHostIsolation(t *testing.T) {
+	b, _ := newTestBreaker(1, time.Minute)
+	b.Failure("bad.example")
+	if b.Allow("bad.example") {
+		t.Error("tripped host should shed")
+	}
+	if !b.Allow("good.example") {
+		t.Error("unrelated host must stay closed")
+	}
+	b.Success("unknown.example") // no-op, must not panic or create state
+	if !b.Allow("unknown.example") {
+		t.Error("unknown host should be allowed")
+	}
+}

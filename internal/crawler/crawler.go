@@ -9,10 +9,13 @@ package crawler
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clientres/internal/webserver"
@@ -35,7 +38,43 @@ type Config struct {
 	MaxBodyBytes int64
 	// UserAgent identifies the crawler.
 	UserAgent string
+	// Backoff shapes the delay between retry attempts: exponential with
+	// deterministic per-(host, attempt) jitter. The zero value uses the
+	// defaults (50ms base, 2s cap, ×2 growth). Always active — unlike the
+	// Resilience layer it needs no opt-in.
+	Backoff Backoff
+	// Resilience enables the per-host politeness limiter, circuit breaker,
+	// and weekly retry budget. The zero value disables all three, leaving
+	// fetch behavior identical to a crawler without the layer.
+	Resilience Resilience
 }
+
+// Resilience parameterizes the opt-in per-host resilience layer.
+type Resilience struct {
+	// Enabled turns the layer on.
+	Enabled bool
+	// MaxPerHost bounds in-flight requests per host (default 2).
+	MaxPerHost int
+	// MinGap is the minimum interval between request starts on one host
+	// (default 15ms). Retries against a host observe it too.
+	MinGap time.Duration
+	// BreakerThreshold consecutive connection-level failures open a host's
+	// circuit (default 3). HTTP error statuses never count.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit sheds load before
+	// admitting a half-open probe (default 30s).
+	BreakerCooldown time.Duration
+	// RetryBudget caps total retries per CrawlWeek, shared across all
+	// hosts, so a globally-degraded week degrades gracefully instead of
+	// multiplying timeouts (0 = one retry per domain, negative =
+	// unlimited).
+	RetryBudget int
+}
+
+// ErrHostSuspended is wrapped into Page.Err when the circuit breaker sheds
+// a fetch without attempting a connection. The page records as an ordinary
+// connection failure (Status 0).
+var ErrHostSuspended = errors.New("host suspended by circuit breaker")
 
 // NoRetries is the Config.Retries sentinel requesting a single fetch
 // attempt with no connection-level re-tries.
@@ -77,8 +116,17 @@ type Page struct {
 
 // Crawler fetches landing pages.
 type Crawler struct {
-	cfg    Config
-	client *http.Client
+	cfg     Config
+	client  *http.Client
+	backoff Backoff
+	// polite, breaker, and budget are non-nil only with Resilience.Enabled.
+	polite  *Politeness
+	breaker *Breaker
+	// budget is the week's remaining retry allowance; CrawlWeek pins it at
+	// the start of each week, so standalone Fetch calls before the first
+	// week see an effectively unlimited budget.
+	budget  *atomic.Int64
+	metrics Metrics
 }
 
 // New builds a Crawler. The underlying http.Client reuses connections
@@ -90,9 +138,60 @@ func New(cfg Config) *Crawler {
 		MaxIdleConnsPerHost: cfg.Workers * 2,
 		IdleConnTimeout:     30 * time.Second,
 	}
-	return &Crawler{
-		cfg:    cfg,
-		client: &http.Client{Transport: transport, Timeout: cfg.Timeout},
+	c := &Crawler{
+		cfg:     cfg,
+		client:  &http.Client{Transport: transport, Timeout: cfg.Timeout},
+		backoff: cfg.Backoff.withDefaults(),
+	}
+	if r := cfg.Resilience; r.Enabled {
+		maxPerHost := r.MaxPerHost
+		if maxPerHost == 0 {
+			maxPerHost = 2
+		}
+		minGap := r.MinGap
+		if minGap == 0 {
+			minGap = 15 * time.Millisecond
+		}
+		c.polite = NewPoliteness(maxPerHost, minGap)
+		c.breaker = NewBreaker(r.BreakerThreshold, r.BreakerCooldown)
+		if r.RetryBudget >= 0 {
+			c.budget = new(atomic.Int64)
+			c.budget.Store(math.MaxInt64)
+		}
+	}
+	return c
+}
+
+// Metrics returns a snapshot of the crawler's cumulative counters.
+func (c *Crawler) Metrics() MetricsSnapshot { return c.metrics.Snapshot() }
+
+// takeBudget consumes one retry from the shared weekly budget, reporting
+// false when the budget is spent.
+func takeBudget(budget *atomic.Int64) bool {
+	for {
+		v := budget.Load()
+		if v <= 0 {
+			return false
+		}
+		if budget.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done, returning the context error
+// in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -103,37 +202,96 @@ func (c *Crawler) Fetch(ctx context.Context, week int, domain string) Page {
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
-			select {
-			case <-ctx.Done():
-				page.Err = ctx.Err()
+			if c.budget != nil && !takeBudget(c.budget) {
+				c.metrics.budgetExhausted.Add(1)
+				break
+			}
+			c.metrics.retries.Add(1)
+			if err := sleepCtx(ctx, c.backoff.Delay(domain, attempt)); err != nil {
+				page.Err = err
 				return page
-			case <-time.After(50 * time.Millisecond):
 			}
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-		if err != nil {
-			page.Err = err
-			return page
+		if c.breaker != nil && !c.breaker.Allow(domain) {
+			c.metrics.breakerShed.Add(1)
+			if lastErr == nil {
+				lastErr = ErrHostSuspended
+			}
+			break
 		}
-		req.Header.Set("User-Agent", c.cfg.UserAgent)
-		resp, err := c.client.Do(req)
-		if err != nil {
-			lastErr = err
-			continue // connection-level failure: retry
+		if c.polite != nil {
+			if err := c.polite.Acquire(ctx, domain); err != nil {
+				page.Err = err
+				return page
+			}
 		}
-		body, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
-		_ = resp.Body.Close()
+		status, body, err := c.attempt(ctx, url)
+		if c.polite != nil {
+			c.polite.Release(domain)
+		}
 		if err != nil {
+			if c.breaker != nil && c.breaker.Failure(domain) {
+				c.metrics.breakerTrips.Add(1)
+			}
+			// A cancelled context is the caller giving up, not the host
+			// failing: surface it immediately instead of burning the
+			// remaining retries against a dead deadline.
+			if ctx.Err() != nil {
+				page.Err = ctx.Err()
+				return page
+			}
 			lastErr = err
 			continue
 		}
-		page.Status = resp.StatusCode
-		page.Body = string(body)
+		if c.breaker != nil {
+			c.breaker.Success(domain)
+		}
+		page.Status = status
+		page.Body = body
 		page.Err = nil
 		return page
 	}
 	page.Err = fmt.Errorf("crawler: %s week %d: %w", domain, week, lastErr)
 	return page
+}
+
+// drainLimit bounds how much of a truncated body attempt reads past
+// MaxBodyBytes: enough to reach EOF on moderately-oversized pages (keeping
+// the keep-alive connection reusable), small enough that a huge page costs
+// a connection rather than an unbounded read.
+const drainLimit = 256 << 10
+
+// attempt performs one HTTP request and returns the status and (truncated)
+// body. Connection-level failures — dial, timeout, mid-body errors — come
+// back as err.
+func (c *Crawler) attempt(ctx context.Context, url string) (status int, body string, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, "", err
+	}
+	req.Header.Set("User-Agent", c.cfg.UserAgent)
+	c.metrics.attempts.Add(1)
+	start := time.Now()
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.metrics.connFailures.Add(1)
+		return 0, "", err
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
+	if err == nil {
+		// Read a bounded remainder so the transport sees EOF and can
+		// recycle the connection; closing with unread bytes kills it.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, drainLimit))
+	}
+	_ = resp.Body.Close()
+	if err != nil {
+		c.metrics.connFailures.Add(1)
+		return 0, "", err
+	}
+	c.metrics.successes.Add(1)
+	c.metrics.bytes.Add(int64(len(b)))
+	c.metrics.lat.record(time.Since(start))
+	return resp.StatusCode, string(b), nil
 }
 
 // CrawlWeek fetches every domain for one snapshot week on the worker pool
@@ -147,6 +305,17 @@ func (c *Crawler) Fetch(ctx context.Context, week int, domain string) Page {
 // fn. TestCrawlWeekCallbackSingleGoroutine fails under -race if either
 // property breaks.
 func (c *Crawler) CrawlWeek(ctx context.Context, week int, domains []string, fn func(Page)) error {
+	if c.budget != nil {
+		// Pin the week's shared retry budget: every fetch of the week draws
+		// from the same pool, so a globally-degraded ecosystem stops
+		// retrying once the allowance is spent instead of timing out
+		// (retries+1)× per domain.
+		n := int64(c.cfg.Resilience.RetryBudget)
+		if n == 0 {
+			n = int64(len(domains))
+		}
+		c.budget.Store(n)
+	}
 	jobs := make(chan string)
 	results := make(chan Page)
 

@@ -1,0 +1,88 @@
+package crawler
+
+// Regression tests for two Fetch-level bugs: context cancellation burning
+// the retry schedule, and truncated bodies killing keep-alive reuse.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httptrace"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A context cancelled mid-request is the caller giving up, not the host
+// failing: Fetch must return the context error immediately, with no retry
+// consumed and no further connection attempted.
+func TestFetchContextCancelStopsRetrying(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		<-r.Context().Done() // stall until the client hangs up
+	}))
+	defer ts.Close()
+
+	c := New(Config{
+		BaseURL: ts.URL, Retries: 50, Timeout: 30 * time.Second,
+		Backoff: Backoff{Base: 40 * time.Millisecond},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	page := c.Fetch(ctx, 0, "stalled.example")
+	elapsed := time.Since(start)
+
+	if !errors.Is(page.Err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", page.Err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("fetch took %v after cancellation; it kept retrying", elapsed)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("%d connection attempts, want 1 (cancellation must not retry)", got)
+	}
+	if m := c.Metrics(); m.Retries != 0 {
+		t.Errorf("retries = %d, want 0: cancellation consumed the schedule", m.Retries)
+	}
+}
+
+// When MaxBodyBytes truncates a page, Fetch drains a bounded remainder
+// before closing so the transport sees EOF and recycles the keep-alive
+// connection. Asserted via httptrace: the second fetch must reuse the
+// first fetch's connection.
+func TestFetchTruncatedBodyKeepsConnectionAlive(t *testing.T) {
+	body := make([]byte, 8<<10)
+	for i := range body {
+		body[i] = 'x'
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+		_, _ = w.Write(body)
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL, MaxBodyBytes: 1024})
+	var reused atomic.Bool
+	ctx := httptrace.WithClientTrace(context.Background(), &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) { reused.Store(info.Reused) },
+	})
+	for i := 0; i < 2; i++ {
+		page := c.Fetch(ctx, 0, "big.example")
+		if page.Err != nil {
+			t.Fatalf("fetch %d: %v", i, page.Err)
+		}
+		if len(page.Body) != 1024 {
+			t.Fatalf("fetch %d: body %d bytes, want the 1024-byte cap", i, len(page.Body))
+		}
+	}
+	if !reused.Load() {
+		t.Error("second fetch dialed a fresh connection; the truncated body was not drained")
+	}
+}

@@ -1,0 +1,95 @@
+package crawler
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates crawl counters over a Crawler's lifetime. Every field
+// updates atomically from the worker goroutines; Snapshot folds them into a
+// plain struct for reporting.
+type Metrics struct {
+	attempts        atomic.Int64 // HTTP requests issued
+	retries         atomic.Int64 // attempts beyond the first per fetch
+	successes       atomic.Int64 // fetches that returned a status and body
+	connFailures    atomic.Int64 // attempts that failed at the connection level
+	breakerTrips    atomic.Int64 // circuit transitions to open
+	breakerShed     atomic.Int64 // attempts refused by an open circuit
+	budgetExhausted atomic.Int64 // retries forgone because the week's budget ran out
+	bytes           atomic.Int64 // body bytes read (post-truncation)
+	lat             latencyHist  // successful-fetch latency
+}
+
+// MetricsSnapshot is a point-in-time copy of a Crawler's counters.
+type MetricsSnapshot struct {
+	Attempts, Retries, Successes, ConnFailures int64
+	BreakerTrips, BreakerShed                  int64
+	BudgetExhausted                            int64
+	Bytes                                      int64
+	// FetchP50 / FetchP99 are latency quantiles of successful fetches
+	// (request start through body read), resolved to power-of-two
+	// microsecond buckets.
+	FetchP50, FetchP99 time.Duration
+}
+
+// Snapshot returns the current counters. Concurrent updates may land
+// between field reads; each individual counter is exact.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Attempts:        m.attempts.Load(),
+		Retries:         m.retries.Load(),
+		Successes:       m.successes.Load(),
+		ConnFailures:    m.connFailures.Load(),
+		BreakerTrips:    m.breakerTrips.Load(),
+		BreakerShed:     m.breakerShed.Load(),
+		BudgetExhausted: m.budgetExhausted.Load(),
+		Bytes:           m.bytes.Load(),
+		FetchP50:        m.lat.quantile(0.50),
+		FetchP99:        m.lat.quantile(0.99),
+	}
+}
+
+// latencyHist is a lock-free histogram with power-of-two microsecond
+// buckets: bucket i counts latencies in [2^(i-1), 2^i) µs, so quantiles
+// resolve to within a factor of two — plenty for p50/p99 trend lines at
+// zero allocation on the hot path.
+type latencyHist struct {
+	buckets [34]atomic.Int64 // 2^33 µs ≈ 2.4h caps the top bucket
+}
+
+func (h *latencyHist) record(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := bits.Len64(uint64(us))
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+// quantile returns the upper bound of the bucket where the q-quantile
+// falls, or 0 when the histogram is empty.
+func (h *latencyHist) quantile(q float64) time.Duration {
+	var total int64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(uint64(1)<<uint(len(h.buckets)-1)) * time.Microsecond
+}

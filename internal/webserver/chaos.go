@@ -1,0 +1,202 @@
+package webserver
+
+// Chaos mode: injectable per-(domain, week) faults, so the crawler's
+// resilience layer can be proven against the open Web's failure modes —
+// stalled responses, mid-body resets, truncated bodies, slow-loris drips —
+// on a deterministic schedule a test can precompute and then reconcile
+// against the crawler's counters.
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is one injectable failure mode.
+type Fault uint8
+
+// The fault catalog. FaultNone means the response is served normally.
+const (
+	FaultNone Fault = iota
+	// FaultStall holds the response until the client gives up (or Stall
+	// elapses, after which the page is served — a slow host, not a dead
+	// one).
+	FaultStall
+	// FaultReset serves half the body, then closes the connection with a
+	// TCP RST.
+	FaultReset
+	// FaultTruncate advertises the full Content-Length, serves half, and
+	// closes cleanly — the client sees an unexpected EOF.
+	FaultTruncate
+	// FaultSlowLoris drips the body a few dozen bytes per interval,
+	// giving up mid-body once Stall has elapsed.
+	FaultSlowLoris
+
+	numFaults
+)
+
+// String names the fault for logs and test failure messages.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultStall:
+		return "stall"
+	case FaultReset:
+		return "reset"
+	case FaultTruncate:
+		return "truncate"
+	case FaultSlowLoris:
+		return "slowloris"
+	}
+	return "fault(" + strconv.Itoa(int(f)) + ")"
+}
+
+// Chaos configures fault injection on a Server. The schedule is a pure
+// function of (Seed, week, domain): the same configuration faults the same
+// pairs with the same faults on every run, and FaultFor lets tests and
+// operators precompute the schedule the crawler will encounter. Only
+// responses that would otherwise carry an HTTP status are faulted — dead
+// domains already abort on their own.
+type Chaos struct {
+	// Seed selects the schedule.
+	Seed int64
+	// Rate is the fraction of (domain, week) pairs faulted (0 disables).
+	Rate float64
+	// Force, when not FaultNone, makes every faulted pair use this fault —
+	// for tests that need one specific failure mode.
+	Force Fault
+	// Stall bounds how long FaultStall holds a response and how long
+	// FaultSlowLoris keeps dripping (default 2s).
+	Stall time.Duration
+	// Drip is the pause between slow-loris chunks (default 25ms).
+	Drip time.Duration
+
+	injected [numFaults]atomic.Int64
+}
+
+func (c *Chaos) stall() time.Duration {
+	if c.Stall <= 0 {
+		return 2 * time.Second
+	}
+	return c.Stall
+}
+
+func (c *Chaos) drip() time.Duration {
+	if c.Drip <= 0 {
+		return 25 * time.Millisecond
+	}
+	return c.Drip
+}
+
+// FaultFor returns the fault scheduled for a (week, domain) pair. Safe on
+// a nil receiver (no fault).
+func (c *Chaos) FaultFor(week int, domain string) Fault {
+	if c == nil || c.Rate <= 0 {
+		return FaultNone
+	}
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(c.Seed))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(week))
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(domain))
+	u := h.Sum64()
+	if float64(u%1_000_000)/1_000_000 >= c.Rate {
+		return FaultNone
+	}
+	if c.Force != FaultNone {
+		return c.Force
+	}
+	return Fault(1 + (u>>32)%uint64(numFaults-1))
+}
+
+// Injected returns how many responses have been served under each fault
+// since the server started.
+func (c *Chaos) Injected() map[Fault]int64 {
+	out := make(map[Fault]int64, numFaults-1)
+	for f := FaultStall; f < numFaults; f++ {
+		out[f] = c.injected[f].Load()
+	}
+	return out
+}
+
+// InjectedTotal sums Injected across fault types.
+func (c *Chaos) InjectedTotal() int64 {
+	var total int64
+	for f := FaultStall; f < numFaults; f++ {
+		total += c.injected[f].Load()
+	}
+	return total
+}
+
+// serveFault delivers a response under fault f.
+func (s *Server) serveFault(w http.ResponseWriter, r *http.Request, f Fault, html string, status int) {
+	s.Chaos.injected[f].Add(1)
+	switch f {
+	case FaultStall:
+		select {
+		case <-r.Context().Done():
+			return // the client gave up first
+		case <-time.After(s.Chaos.stall()):
+		}
+		writePage(w, html, status)
+	case FaultReset:
+		writePartial(w, html, status)
+		if !hijackClose(w, true) {
+			// No hijacking available: the short write below already
+			// guarantees the client cannot complete the body.
+			return
+		}
+	case FaultTruncate:
+		// Returning after the short write makes the server close the
+		// connection (declared length unmet): an unexpected EOF client-side.
+		writePartial(w, html, status)
+	case FaultSlowLoris:
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Header().Set("Content-Length", strconv.Itoa(len(html)))
+		w.WriteHeader(status)
+		deadline := time.Now().Add(s.Chaos.stall())
+		const chunk = 64
+		for off := 0; off < len(html); off += chunk {
+			// Drip-feed from the first byte of the body: every chunk costs
+			// at least one Drip, so a client timeout below Drip×chunks can
+			// never finish the read.
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(s.Chaos.drip()):
+			}
+			if time.Now().After(deadline) {
+				return // give up mid-body: truncation
+			}
+			end := off + chunk
+			if end > len(html) {
+				end = len(html)
+			}
+			if _, err := io.WriteString(w, html[off:end]); err != nil {
+				return
+			}
+			flush(w)
+		}
+	}
+}
+
+// writePartial advertises the full body length but delivers only half.
+func writePartial(w http.ResponseWriter, html string, status int) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(html)))
+	w.WriteHeader(status)
+	_, _ = io.WriteString(w, html[:len(html)/2])
+	flush(w)
+}
+
+func flush(w http.ResponseWriter) {
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}

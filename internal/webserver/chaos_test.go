@@ -1,0 +1,202 @@
+package webserver
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"clientres/internal/webgen"
+)
+
+// healthySite returns the index of a site accessible at week 0.
+func healthySite(t *testing.T, eco *webgen.Ecosystem) int {
+	t.Helper()
+	for i := range eco.Sites {
+		if eco.Truth(i, 0).Accessible {
+			return i
+		}
+	}
+	t.Fatal("no accessible site in ecosystem")
+	return -1
+}
+
+func TestChaosScheduleDeterministicAndRated(t *testing.T) {
+	a := &Chaos{Seed: 3, Rate: 0.5}
+	b := &Chaos{Seed: 3, Rate: 0.5}
+	faulted, total := 0, 0
+	for week := 0; week < 10; week++ {
+		for i := 0; i < 200; i++ {
+			domain := "site" + string(rune('a'+i%26)) + ".example"
+			fa, fb := a.FaultFor(week, domain), b.FaultFor(week, domain)
+			if fa != fb {
+				t.Fatalf("schedule not deterministic at week %d %s: %v vs %v", week, domain, fa, fb)
+			}
+			total++
+			if fa != FaultNone {
+				faulted++
+			}
+		}
+	}
+	if frac := float64(faulted) / float64(total); frac < 0.35 || frac > 0.65 {
+		t.Errorf("fault fraction %.2f far from configured rate 0.5", frac)
+	}
+	var nilChaos *Chaos
+	if nilChaos.FaultFor(0, "x.example") != FaultNone {
+		t.Error("nil Chaos must never fault")
+	}
+	forced := &Chaos{Seed: 3, Rate: 1, Force: FaultReset}
+	if f := forced.FaultFor(4, "y.example"); f != FaultReset {
+		t.Errorf("Force=reset returned %v", f)
+	}
+}
+
+// chaosServer serves eco with every response faulted as f.
+func chaosServer(t *testing.T, eco *webgen.Ecosystem, f Fault, stall, drip time.Duration) (*httptest.Server, *Chaos) {
+	t.Helper()
+	s := New(eco)
+	s.Chaos = &Chaos{Rate: 1, Force: f, Stall: stall, Drip: drip}
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return srv, s.Chaos
+}
+
+func TestFaultStallDefeatsClientTimeout(t *testing.T) {
+	eco := webgen.New(webgen.Config{Domains: 40, Seed: 4})
+	i := healthySite(t, eco)
+	srv, chaos := chaosServer(t, eco, FaultStall, time.Second, 0)
+	client := &http.Client{Timeout: 100 * time.Millisecond}
+	resp, err := client.Get(srv.URL + PageURL(0, eco.Sites[i].Domain.Name))
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("stalled response should exceed the client timeout")
+	}
+	if chaos.Injected()[FaultStall] == 0 {
+		t.Error("stall went uncounted")
+	}
+}
+
+// A stall shorter than the client's patience is a slow host, not a dead
+// one: the page still arrives intact.
+func TestFaultStallEventuallyServes(t *testing.T) {
+	eco := webgen.New(webgen.Config{Domains: 40, Seed: 4})
+	i := healthySite(t, eco)
+	srv, _ := chaosServer(t, eco, FaultStall, 50*time.Millisecond, 0)
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(srv.URL + PageURL(0, eco.Sites[i].Domain.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("patient client should get the page: status %d err %v", resp.StatusCode, err)
+	}
+	html, _ := eco.PageHTML(i, 0)
+	if string(body) != html {
+		t.Error("stalled-then-served body differs from the real page")
+	}
+}
+
+func TestFaultResetKillsBodyMidRead(t *testing.T) {
+	eco := webgen.New(webgen.Config{Domains: 40, Seed: 4})
+	i := healthySite(t, eco)
+	srv, chaos := chaosServer(t, eco, FaultReset, 0, 0)
+	resp, err := http.Get(srv.URL + PageURL(0, eco.Sites[i].Domain.Name))
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("mid-body reset should surface as a read error")
+	}
+	if chaos.Injected()[FaultReset] == 0 {
+		t.Error("reset went uncounted")
+	}
+}
+
+func TestFaultTruncateIsUnexpectedEOF(t *testing.T) {
+	eco := webgen.New(webgen.Config{Domains: 40, Seed: 4})
+	i := healthySite(t, eco)
+	srv, _ := chaosServer(t, eco, FaultTruncate, 0, 0)
+	resp, err := http.Get(srv.URL + PageURL(0, eco.Sites[i].Domain.Name))
+	if err != nil {
+		t.Fatalf("truncate should deliver headers: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil {
+		t.Fatal("reading a truncated body should fail")
+	}
+	html, _ := eco.PageHTML(i, 0)
+	if len(body) >= len(html) {
+		t.Errorf("read %d of %d bytes; body was not truncated", len(body), len(html))
+	}
+}
+
+func TestFaultSlowLorisOutdripsClientTimeout(t *testing.T) {
+	eco := webgen.New(webgen.Config{Domains: 40, Seed: 4})
+	i := healthySite(t, eco)
+	srv, chaos := chaosServer(t, eco, FaultSlowLoris, 2*time.Second, 200*time.Millisecond)
+	client := &http.Client{Timeout: 120 * time.Millisecond}
+	resp, err := client.Get(srv.URL + PageURL(0, eco.Sites[i].Domain.Name))
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("slow-loris drip should defeat a 120ms client")
+	}
+	if chaos.Injected()[FaultSlowLoris] == 0 {
+		t.Error("slow-loris went uncounted")
+	}
+}
+
+// Chaos only touches alive responses: dead domains abort on their own and
+// must not be double-counted as injections.
+func TestChaosSkipsDeadDomains(t *testing.T) {
+	eco := webgen.New(webgen.Config{Domains: 300, Seed: 4})
+	dead := -1
+	for i := range eco.Sites {
+		if eco.Sites[i].DeadFromWeek == 0 {
+			dead = i
+			break
+		}
+	}
+	if dead < 0 {
+		t.Skip("no domain dead at week 0 in this seed")
+	}
+	srv, chaos := chaosServer(t, eco, FaultStall, 50*time.Millisecond, 0)
+	_, err := http.Get(srv.URL + PageURL(0, eco.Sites[dead].Domain.Name))
+	if err == nil {
+		t.Fatal("dead domain should abort the connection")
+	}
+	if got := chaos.InjectedTotal(); got != 0 {
+		t.Errorf("dead domain counted %d injections", got)
+	}
+}
+
+// failingHijacker claims to support hijacking but errors when asked — the
+// path that used to leave clients hanging with no response at all.
+type failingHijacker struct{ *httptest.ResponseRecorder }
+
+func (f *failingHijacker) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	return nil, nil, errors.New("connection already consumed")
+}
+
+func TestAbortFallsBackTo502(t *testing.T) {
+	plain := httptest.NewRecorder()
+	abort(plain) // no Hijacker at all
+	if plain.Code != http.StatusBadGateway {
+		t.Errorf("non-hijackable abort wrote %d, want 502", plain.Code)
+	}
+	failing := &failingHijacker{httptest.NewRecorder()}
+	abort(failing)
+	if failing.Code != http.StatusBadGateway {
+		t.Errorf("hijack-failure abort wrote %d, want 502 (was: nothing, hanging the client)", failing.Code)
+	}
+}

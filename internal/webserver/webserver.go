@@ -11,6 +11,7 @@ package webserver
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
@@ -28,6 +29,9 @@ type Server struct {
 	// Latency, when non-zero, delays every response — useful for crawler
 	// timeout tests.
 	Latency time.Duration
+	// Chaos, when non-nil, injects deterministic per-(domain, week) faults
+	// into otherwise-alive responses (see Chaos). Set before serving.
+	Chaos *Chaos
 }
 
 // New builds a Server for an ecosystem.
@@ -69,28 +73,48 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		abort(w)
 		return
 	}
+	if f := s.Chaos.FaultFor(week, domain); f != FaultNone {
+		s.serveFault(w, r, f, html, status)
+		return
+	}
+	writePage(w, html, status)
+}
+
+func writePage(w http.ResponseWriter, html string, status int) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	w.WriteHeader(status)
-	_, _ = w.Write([]byte(html))
+	_, _ = io.WriteString(w, html)
 }
 
 // abort drops the connection without an HTTP response, simulating a dead
-// domain (refused connection / NXDOMAIN).
+// domain (refused connection / NXDOMAIN). When the connection cannot be
+// hijacked it answers a bare 502 instead — never leave the request
+// unanswered, or the client hangs until its own timeout.
 func abort(w http.ResponseWriter) {
+	if !hijackClose(w, true) {
+		w.WriteHeader(http.StatusBadGateway)
+	}
+}
+
+// hijackClose takes over the connection and closes it — with a TCP RST
+// (SetLinger(0)) when reset is true, so client reads fail immediately —
+// reporting false when hijacking is unavailable or fails.
+func hijackClose(w http.ResponseWriter, reset bool) bool {
 	hj, ok := w.(http.Hijacker)
 	if !ok {
-		// Fall back to a bare 502 when hijacking is unavailable.
-		w.WriteHeader(http.StatusBadGateway)
-		return
+		return false
 	}
 	conn, _, err := hj.Hijack()
 	if err != nil {
-		return
+		return false
 	}
-	if tcp, ok := conn.(*net.TCPConn); ok {
-		_ = tcp.SetLinger(0) // RST instead of FIN: reads fail immediately
+	if reset {
+		if tcp, ok := conn.(*net.TCPConn); ok {
+			_ = tcp.SetLinger(0)
+		}
 	}
 	_ = conn.Close()
+	return true
 }
 
 // parsePath splits "/w/{week}/{domain}/" into its parts.

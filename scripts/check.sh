@@ -30,4 +30,13 @@ echo "==> bench smoke (store read + fingerprint memo, 1 iteration)"
 go test -run '^$' -bench 'BenchmarkStoreReadSegments|BenchmarkFingerprintMemo' \
 	-benchmem -benchtime 1x .
 
+# Chaos-crawl smoke: an end-to-end cmd/crawl run with fault injection and
+# the resilience layer on. Proves the fault drill terminates and the
+# pipeline survives stalls, resets, truncations, and slow-loris drips.
+echo "==> chaos crawl smoke (fault-injected end-to-end run)"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/crawl -domains 40 -weeks 3 -chaos 0.3 -politeness \
+	-out "$tmp/chaos.jsonl.gz" >/dev/null
+
 echo "OK"
