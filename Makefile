@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-store bench-crawl check fuzz-smoke
+.PHONY: build test race bench bench-store bench-crawl bench-serve check fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,12 @@ bench-store:
 bench-crawl:
 	BENCHTIME=$(BENCHTIME) sh scripts/bench_crawl.sh
 
+# bench-serve runs the audit-service load test (cold vs warm response
+# cache, closed-loop clients) and appends req/s + p50/p99 audit latency to
+# BENCH_serve.json (longer measurement: make bench-serve BENCHTIME=2s).
+bench-serve:
+	BENCHTIME=$(BENCHTIME) sh scripts/bench_serve.sh
+
 # check is the full verification gate: vet + build + race tests + short
 # fuzz smoke runs (FUZZTIME=3s by default; override: make check FUZZTIME=30s).
 check:
@@ -35,3 +41,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzTokenize$$' -fuzztime 3s ./internal/htmlx
 	$(GO) test -run '^$$' -fuzz '^FuzzParseVersion$$' -fuzztime 3s ./internal/semver
 	$(GO) test -run '^$$' -fuzz '^FuzzRange$$' -fuzztime 3s ./internal/semver
+	$(GO) test -run '^$$' -fuzz '^FuzzAuditHandler$$' -fuzztime 3s ./internal/service

@@ -1,0 +1,169 @@
+package clientres
+
+// Serve-path load test: BenchmarkServeAudit drives the online audit
+// service closed-loop over loopback HTTP — cold (response cache disabled:
+// every request fingerprints and matches) and warm (cache enabled, the
+// page working set fits: steady state is all hits) — reporting req/s and
+// the service's own p50/p99 audit latency scraped from /metrics. The
+// benchmark is also a correctness gate: it asserts byte-identical cold vs
+// cached responses and reconciles the server's request/cache/shed counters
+// exactly against the requests the load generator sent. `make bench-serve`
+// appends machine-readable results to BENCH_serve.json.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clientres/internal/service"
+)
+
+// benchPages builds the working set: distinct pages mixing vulnerable and
+// clean library inclusions, small enough to stay cache-resident in warm
+// mode.
+func benchPages(n int) []string {
+	pages := make([]string, n)
+	for i := range pages {
+		pages[i] = fmt.Sprintf(`<!DOCTYPE html><html><head>
+<script src="https://code.jquery.com/jquery-1.%d.4.min.js"></script>
+<script src="https://maxcdn.bootstrapcdn.com/bootstrap/3.3.%d/js/bootstrap.min.js"></script>
+<script src="/assets/v%d/moment-2.10.6.min.js"></script>
+<link rel="stylesheet" href="/site.css">
+</head><body><p>site %d</p></body></html>`, 4+i%9, i%8, i, i)
+	}
+	return pages
+}
+
+// scrapeMetrics parses the Prometheus text exposition into series → value.
+func scrapeMetrics(tb testing.TB, client *http.Client, base string) map[string]float64 {
+	tb.Helper()
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+func BenchmarkServeAudit(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		cache int
+	}{{"cold", -1}, {"warm", 4096}} {
+		b.Run(mode.name, func(b *testing.B) {
+			svc := service.New(service.Config{
+				Workers: 4, QueueDepth: 256, CacheEntries: mode.cache,
+				Now: func() time.Time { return time.Date(2026, 1, 2, 0, 0, 0, 0, time.UTC) },
+			})
+			defer svc.Close()
+			ts := httptest.NewServer(svc)
+			defer ts.Close()
+			client := &http.Client{Transport: &http.Transport{
+				MaxIdleConns: 64, MaxIdleConnsPerHost: 64,
+			}}
+			pages := benchPages(32)
+
+			post := func(page string) (int, []byte) {
+				resp, err := client.Post(ts.URL+"/v1/audit?host=bench.test", "text/html", strings.NewReader(page))
+				if err != nil {
+					b.Fatal(err)
+				}
+				body, err := io.ReadAll(resp.Body)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = resp.Body.Close()
+				return resp.StatusCode, body
+			}
+
+			// Correctness gate: the same input audited cold and answered
+			// from cache must be byte-identical.
+			var setup int
+			code, cold := post(pages[0])
+			setup++
+			if code != http.StatusOK {
+				b.Fatalf("setup audit status %d", code)
+			}
+			if mode.cache > 0 {
+				code, cached := post(pages[0])
+				setup++
+				if code != http.StatusOK || !bytes.Equal(cold, cached) {
+					b.Fatal("cached response not byte-identical to cold response")
+				}
+			}
+
+			var sent atomic.Int64
+			b.ResetTimer()
+			b.SetParallelism(8)
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					code, _ := post(pages[i%len(pages)])
+					if code != http.StatusOK {
+						b.Errorf("audit status %d", code)
+						return
+					}
+					i++
+					sent.Add(1)
+				}
+			})
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "req/s")
+			}
+
+			// Reconcile the server's counters against what we sent: every
+			// request accounted for, nothing shed, nothing dropped.
+			m := scrapeMetrics(b, client, ts.URL)
+			total := int64(m[`clientres_http_requests_total{endpoint="audit"}`])
+			hits := int64(m[`clientres_audit_cache_hits_total`])
+			misses := int64(m[`clientres_audit_cache_misses_total`])
+			shedQ := int64(m[`clientres_audit_shed_total{reason="queue_full"}`])
+			shedR := int64(m[`clientres_audit_shed_total{reason="rate_limited"}`])
+			want := sent.Load() + int64(setup)
+			if total != want {
+				b.Fatalf("server saw %d audit requests, load generator sent %d", total, want)
+			}
+			if hits+misses != total {
+				b.Fatalf("cache hits(%d)+misses(%d) != requests(%d)", hits, misses, total)
+			}
+			if shedQ != 0 || shedR != 0 {
+				b.Fatalf("shed requests: queue=%d rate=%d, want 0", shedQ, shedR)
+			}
+			if mode.cache > 0 {
+				// Warm steady state: only the first sight of each page misses.
+				if maxMisses := int64(len(pages) + 1); misses > maxMisses {
+					b.Fatalf("warm misses = %d, want ≤ %d", misses, maxMisses)
+				}
+			}
+			b.ReportMetric(m[`clientres_http_request_duration_seconds{endpoint="audit",quantile="0.5"}`]*1e9, "p50-ns")
+			b.ReportMetric(m[`clientres_http_request_duration_seconds{endpoint="audit",quantile="0.99"}`]*1e9, "p99-ns")
+		})
+	}
+}

@@ -13,6 +13,8 @@
 //     figure of the paper.
 //   - AuditPage fingerprints a single HTML document and reports the
 //     vulnerable libraries on it (the Retire.js-style use).
+//   - Serve runs the same audit as a long-running HTTP API (cmd/serve's
+//     engine): cached, rate-limited, backpressured, gracefully draining.
 //   - ValidateCVEs runs the PoC version-validation experiment alone and
 //     reports which CVEs understate or overstate their affected versions.
 package clientres
@@ -26,6 +28,7 @@ import (
 	"clientres/internal/crawler"
 	"clientres/internal/fingerprint"
 	"clientres/internal/poclab"
+	"clientres/internal/service"
 	"clientres/internal/vulndb"
 	"clientres/internal/webgen"
 )
@@ -235,6 +238,35 @@ func AuditPage(html, pageHost string) AuditReport {
 		rep.InsecureFlash = det.Flash.Always
 	}
 	return rep
+}
+
+// ServeConfig parameterizes the online audit service.
+type ServeConfig struct {
+	// Addr is the listen address (":8080"; ":0" picks an ephemeral port).
+	Addr string
+	// Workers bounds concurrent audits; QueueDepth bounds waiting ones —
+	// beyond it the service sheds with 503 + Retry-After.
+	Workers, QueueDepth int
+	// CacheEntries bounds the content-hash response cache (negative
+	// disables); RatePerSec/Burst shape the per-client token bucket
+	// (RatePerSec 0 disables).
+	CacheEntries int
+	RatePerSec   float64
+	Burst        int
+}
+
+// Serve runs the online vulnerability-audit API — POST /v1/audit,
+// GET /v1/libraries, GET /v1/vulns/{lib}, /healthz, /metrics — until ctx
+// is cancelled, then drains in-flight audits and returns. It is the
+// library form of cmd/serve (which adds flags, logging, and URL-mode
+// fetching through the resilient crawler).
+func Serve(ctx context.Context, cfg ServeConfig) error {
+	srv := service.New(service.Config{
+		Workers: cfg.Workers, QueueDepth: cfg.QueueDepth,
+		CacheEntries: cfg.CacheEntries,
+		RatePerSec:   cfg.RatePerSec, Burst: cfg.Burst,
+	})
+	return srv.ListenAndServe(ctx, cfg.Addr, nil)
 }
 
 // CVEFinding is one row of the version-validation experiment.

@@ -1,0 +1,85 @@
+// Command serve runs the online vulnerability-audit service: the study's
+// fingerprint → CVE/TVV-match pipeline behind a production HTTP API.
+//
+//	serve -addr :8080 -workers 8 -queue 128 -cache 8192 -rate 50 -burst 100
+//
+// Endpoints: POST /v1/audit (raw HTML, or JSON {"url": ...} fetched through
+// the resilient crawler path), GET /v1/libraries, GET /v1/vulns/{lib},
+// GET /healthz, GET /metrics (Prometheus text format). SIGINT/SIGTERM
+// triggers a graceful shutdown that refuses new connections and drains
+// every in-flight audit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"clientres/internal/crawler"
+	"clientres/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", 8, "audit worker pool size")
+	queue := flag.Int("queue", 128, "audit queue depth; a full queue sheds with 503 + Retry-After")
+	cache := flag.Int("cache", 8192, "response-cache entries (negative disables)")
+	rate := flag.Float64("rate", 50, "per-client rate limit in audits/s (0 disables)")
+	burst := flag.Int("burst", 100, "per-client burst capacity (0 = 2x rate)")
+	maxBody := flag.Int64("max-body", 2<<20, "maximum audit request body bytes")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	fetchURLs := flag.Bool("fetch", true, "enable {\"url\": ...} audits via the resilient crawler fetch path")
+	fetchTimeout := flag.Duration("fetch-timeout", 10*time.Second, "per-fetch timeout for url audits")
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	cfg := service.Config{
+		Workers: *workers, QueueDepth: *queue, CacheEntries: *cache,
+		RatePerSec: *rate, Burst: *burst,
+		MaxBodyBytes: *maxBody, DrainTimeout: *drain,
+		Logger: log,
+	}
+	if *fetchURLs {
+		cr := crawler.New(crawler.Config{
+			Timeout:   *fetchTimeout,
+			UserAgent: "clientres-audit-service/1.0",
+			Resilience: crawler.Resilience{
+				Enabled:     true,
+				RetryBudget: -1, // online fetches have no weekly budget
+			},
+		})
+		cfg.Fetch = func(ctx context.Context, url string) (int, string, error) {
+			p := cr.FetchURL(ctx, url)
+			return p.Status, p.Body, p.Err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := service.New(cfg)
+	addrReady := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(ctx, *addr, addrReady) }()
+
+	select {
+	case bound := <-addrReady:
+		// The smoke script parses this line to find an ephemeral port.
+		fmt.Printf("serving on http://%s\n", bound)
+	case err := <-errc:
+		log.Error("serve", "err", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil {
+		log.Error("serve", "err", err)
+		os.Exit(1)
+	}
+	log.Info("drained and stopped")
+}

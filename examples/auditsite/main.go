@@ -6,13 +6,23 @@
 // that exist only under the inaccurate CVE-disclosed ranges — plus SRI and
 // Flash hygiene problems.
 //
-//	go run ./examples/auditsite [page.html [host]]
+// By default the audit runs in-process. With -serve the page is instead
+// POSTed to a running audit service (cmd/serve), which returns the same
+// verdicts plus days-since-patch, and exercises the service's cache and
+// backpressure path:
+//
+//	go run ./examples/auditsite [-serve http://127.0.0.1:8080] [page.html [host]]
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"strings"
 
 	"clientres"
 )
@@ -31,19 +41,26 @@ const sample = `<!DOCTYPE html>
 </body></html>`
 
 func main() {
+	serve := flag.String("serve", "", "base URL of a running cmd/serve instance; empty audits in-process")
+	flag.Parse()
+
 	html, host := sample, "example.com"
-	if len(os.Args) > 1 {
-		data, err := os.ReadFile(os.Args[1])
+	if flag.NArg() > 0 {
+		data, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
 			log.Fatalf("auditsite: %v", err)
 		}
 		html = string(data)
 	}
-	if len(os.Args) > 2 {
-		host = os.Args[2]
+	if flag.NArg() > 1 {
+		host = flag.Arg(1)
 	}
 
-	rep := clientres.AuditPage(html, host)
+	rep := auditLocal(html, host)
+	if *serve != "" {
+		rep = auditRemote(*serve, html, host)
+	}
+
 	fmt.Printf("detected libraries (%d):\n", len(rep.Libraries))
 	for _, lib := range rep.Libraries {
 		fmt.Printf("  - %s\n", lib)
@@ -56,6 +73,9 @@ func main() {
 			fix := "no fixed version"
 			if f.FixedIn != "" {
 				fix = "fixed in " + f.FixedIn
+				if f.PatchDays > 0 {
+					fix += fmt.Sprintf(", patch available %d days", f.PatchDays)
+				}
 			}
 			note := ""
 			if f.PerCVEOnly {
@@ -75,4 +95,97 @@ func main() {
 			fmt.Println("hygiene: AllowScriptAccess is 'always' — cross-origin .swf can script this page")
 		}
 	}
+}
+
+// report is the common shape both audit paths render from. PatchDays is
+// only populated by the service, which computes days-since-patch.
+type report struct {
+	Libraries                []string
+	Findings                 []finding
+	MissingSRI               int
+	UsesFlash, InsecureFlash bool
+}
+
+type finding struct {
+	Library, Version, Advisory, Attack, Disclosed, FixedIn string
+	PatchDays                                              int
+	PerCVEOnly                                             bool
+}
+
+func auditLocal(html, host string) report {
+	rep := clientres.AuditPage(html, host)
+	out := report{
+		Libraries:     rep.Libraries,
+		MissingSRI:    rep.MissingSRI,
+		UsesFlash:     rep.UsesFlash,
+		InsecureFlash: rep.InsecureFlash,
+	}
+	for _, f := range rep.Findings {
+		out.Findings = append(out.Findings, finding{
+			Library: f.Library, Version: f.Version, Advisory: f.Advisory,
+			Attack: f.Attack, Disclosed: f.Disclosed, FixedIn: f.FixedIn,
+			PerCVEOnly: f.PerCVEOnly,
+		})
+	}
+	return out
+}
+
+// auditRemote POSTs the page to a running audit service and maps its JSON
+// response onto the same report the in-process path produces.
+func auditRemote(base, html, host string) report {
+	url := strings.TrimRight(base, "/") + "/v1/audit?host=" + host
+	resp, err := http.Post(url, "text/html", strings.NewReader(html))
+	if err != nil {
+		log.Fatalf("auditsite: POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("auditsite: read response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("auditsite: service returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var sr struct {
+		Libraries []struct {
+			Slug    string `json:"slug"`
+			Version string `json:"version"`
+		} `json:"libraries"`
+		Findings []struct {
+			Library            string `json:"library"`
+			Version            string `json:"version"`
+			Advisory           string `json:"advisory"`
+			Attack             string `json:"attack"`
+			Disclosed          string `json:"disclosed"`
+			FixedIn            string `json:"fixed_in"`
+			PatchAvailableDays int    `json:"patch_available_days"`
+			PerCVEOnly         bool   `json:"per_cve_only"`
+		} `json:"findings"`
+		MissingSRI    int  `json:"missing_sri"`
+		UsesFlash     bool `json:"uses_flash"`
+		InsecureFlash bool `json:"insecure_flash"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		log.Fatalf("auditsite: decode response: %v", err)
+	}
+	out := report{
+		MissingSRI:    sr.MissingSRI,
+		UsesFlash:     sr.UsesFlash,
+		InsecureFlash: sr.InsecureFlash,
+	}
+	for _, lib := range sr.Libraries {
+		label := lib.Slug
+		if lib.Version != "" {
+			label += "@" + lib.Version
+		}
+		out.Libraries = append(out.Libraries, label)
+	}
+	for _, f := range sr.Findings {
+		out.Findings = append(out.Findings, finding{
+			Library: f.Library, Version: f.Version, Advisory: f.Advisory,
+			Attack: f.Attack, Disclosed: f.Disclosed, FixedIn: f.FixedIn,
+			PatchDays: f.PatchAvailableDays, PerCVEOnly: f.PerCVEOnly,
+		})
+	}
+	return out
 }

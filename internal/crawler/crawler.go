@@ -14,6 +14,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	neturl "net/url"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -197,8 +198,29 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 
 // Fetch retrieves one domain's landing page for a snapshot week.
 func (c *Crawler) Fetch(ctx context.Context, week int, domain string) Page {
+	return c.fetch(ctx, week, domain, c.cfg.BaseURL+webserver.PageURL(week, domain))
+}
+
+// FetchURL retrieves an arbitrary http(s) URL through the same resilient
+// fetch path as Fetch — retry with backoff, per-host politeness, circuit
+// breaker, retry budget — keyed by the URL's host. The online audit
+// service uses this for {"url": ...} audits. Page.Domain is the host and
+// Page.Week is 0.
+func (c *Crawler) FetchURL(ctx context.Context, rawurl string) Page {
+	u, err := neturl.Parse(rawurl)
+	if err != nil {
+		return Page{Domain: rawurl, Err: fmt.Errorf("crawler: parse url: %w", err)}
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return Page{Domain: u.Host, Err: fmt.Errorf("crawler: unsupported url %q", rawurl)}
+	}
+	return c.fetch(ctx, 0, u.Host, rawurl)
+}
+
+// fetch is the shared resilient fetch loop; domain keys the backoff
+// schedule, politeness gate, breaker circuit, and retry budget.
+func (c *Crawler) fetch(ctx context.Context, week int, domain, url string) Page {
 	page := Page{Domain: domain, Week: week}
-	url := c.cfg.BaseURL + webserver.PageURL(week, domain)
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
@@ -290,7 +312,7 @@ func (c *Crawler) attempt(ctx context.Context, url string) (status int, body str
 	}
 	c.metrics.successes.Add(1)
 	c.metrics.bytes.Add(int64(len(b)))
-	c.metrics.lat.record(time.Since(start))
+	c.metrics.lat.Record(time.Since(start))
 	return resp.StatusCode, string(b), nil
 }
 

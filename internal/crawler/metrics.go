@@ -1,24 +1,25 @@
 package crawler
 
 import (
-	"math/bits"
-	"sync/atomic"
 	"time"
+
+	"clientres/internal/metrics"
 )
 
 // Metrics aggregates crawl counters over a Crawler's lifetime. Every field
 // updates atomically from the worker goroutines; Snapshot folds them into a
-// plain struct for reporting.
+// plain struct for reporting. The counter and histogram primitives live in
+// internal/metrics, shared with the online audit service.
 type Metrics struct {
-	attempts        atomic.Int64 // HTTP requests issued
-	retries         atomic.Int64 // attempts beyond the first per fetch
-	successes       atomic.Int64 // fetches that returned a status and body
-	connFailures    atomic.Int64 // attempts that failed at the connection level
-	breakerTrips    atomic.Int64 // circuit transitions to open
-	breakerShed     atomic.Int64 // attempts refused by an open circuit
-	budgetExhausted atomic.Int64 // retries forgone because the week's budget ran out
-	bytes           atomic.Int64 // body bytes read (post-truncation)
-	lat             latencyHist  // successful-fetch latency
+	attempts        metrics.Counter   // HTTP requests issued
+	retries         metrics.Counter   // attempts beyond the first per fetch
+	successes       metrics.Counter   // fetches that returned a status and body
+	connFailures    metrics.Counter   // attempts that failed at the connection level
+	breakerTrips    metrics.Counter   // circuit transitions to open
+	breakerShed     metrics.Counter   // attempts refused by an open circuit
+	budgetExhausted metrics.Counter   // retries forgone because the week's budget ran out
+	bytes           metrics.Counter   // body bytes read (post-truncation)
+	lat             metrics.Histogram // successful-fetch latency
 }
 
 // MetricsSnapshot is a point-in-time copy of a Crawler's counters.
@@ -45,51 +46,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		BreakerShed:     m.breakerShed.Load(),
 		BudgetExhausted: m.budgetExhausted.Load(),
 		Bytes:           m.bytes.Load(),
-		FetchP50:        m.lat.quantile(0.50),
-		FetchP99:        m.lat.quantile(0.99),
+		FetchP50:        m.lat.Quantile(0.50),
+		FetchP99:        m.lat.Quantile(0.99),
 	}
-}
-
-// latencyHist is a lock-free histogram with power-of-two microsecond
-// buckets: bucket i counts latencies in [2^(i-1), 2^i) µs, so quantiles
-// resolve to within a factor of two — plenty for p50/p99 trend lines at
-// zero allocation on the hot path.
-type latencyHist struct {
-	buckets [34]atomic.Int64 // 2^33 µs ≈ 2.4h caps the top bucket
-}
-
-func (h *latencyHist) record(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
-	}
-	i := bits.Len64(uint64(us))
-	if i >= len(h.buckets) {
-		i = len(h.buckets) - 1
-	}
-	h.buckets[i].Add(1)
-}
-
-// quantile returns the upper bound of the bucket where the q-quantile
-// falls, or 0 when the histogram is empty.
-func (h *latencyHist) quantile(q float64) time.Duration {
-	var total int64
-	for i := range h.buckets {
-		total += h.buckets[i].Load()
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := int64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	var seen int64
-	for i := range h.buckets {
-		seen += h.buckets[i].Load()
-		if seen > rank {
-			return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
-		}
-	}
-	return time.Duration(uint64(1)<<uint(len(h.buckets)-1)) * time.Microsecond
 }

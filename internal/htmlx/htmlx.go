@@ -178,8 +178,10 @@ func (z *Tokenizer) rawText() (Token, bool) {
 	name := z.pendingRaw
 	z.pendingRaw = ""
 	start := z.pos
-	lower := strings.ToLower(z.src[z.pos:])
-	idx := strings.Index(lower, "</"+name)
+	// ASCII-fold search: strings.ToLower would re-encode invalid UTF-8
+	// bytes as 3-byte U+FFFD runes, shifting every index after them past
+	// the end of the real source.
+	idx := indexFoldASCII(z.src[z.pos:], "</"+name)
 	if idx < 0 {
 		z.pos = len(z.src)
 		if start == len(z.src) {
@@ -290,6 +292,31 @@ func (z *Tokenizer) afterTag(tok *Token) {
 	if tok.Kind == StartTagToken && rawTextElements[tok.Name] {
 		z.pendingRaw = tok.Name
 	}
+}
+
+// indexFoldASCII returns the index of the first occurrence of needle in s
+// comparing bytes with ASCII case folding, or -1. needle must already be
+// lowercase (tag names are, by construction).
+func indexFoldASCII(s, needle string) int {
+	if len(needle) == 0 {
+		return 0
+	}
+	for i := 0; i+len(needle) <= len(s); i++ {
+		j := 0
+		for ; j < len(needle); j++ {
+			c := s[i+j]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != needle[j] {
+				break
+			}
+		}
+		if j == len(needle) {
+			return i
+		}
+	}
+	return -1
 }
 
 func isNameChar(c byte) bool {

@@ -145,6 +145,44 @@ func TestMalformedInputsDoNotPanic(t *testing.T) {
 	}
 }
 
+// Fuzz-found regression (corpus a05ddc0de04017ed): invalid UTF-8 in a
+// raw-text body panicked the tokenizer, because strings.ToLower re-encodes
+// each bad byte as a 3-byte U+FFFD rune, so the end-tag index found in the
+// lowered string landed past the end of the real source.
+func TestRawTextInvalidUTF8DoesNotPanic(t *testing.T) {
+	src := "<stYle>\xff\xff\xff\xde</stYle"
+	toks := collect(src)
+	var body string
+	for _, tok := range toks {
+		if tok.Kind == TextToken {
+			body += tok.Data
+		}
+	}
+	if body != "\xff\xff\xff\xde" {
+		t.Errorf("raw-text body = %q", body)
+	}
+}
+
+func TestIndexFoldASCII(t *testing.T) {
+	cases := []struct {
+		s, needle string
+		want      int
+	}{
+		{"abc</SCRIPT>", "</script", 3},
+		{"abc</script>", "</script", 3},
+		{"\xff\xff</StYlE", "</style", 2},
+		{"no end tag here", "</script", -1},
+		{"", "</script", -1},
+		{"x", "", 0},
+		{"</scrip", "</script", -1},
+	}
+	for _, tc := range cases {
+		if got := indexFoldASCII(tc.s, tc.needle); got != tc.want {
+			t.Errorf("indexFoldASCII(%q, %q) = %d, want %d", tc.s, tc.needle, got, tc.want)
+		}
+	}
+}
+
 func TestLiteralLessThanInText(t *testing.T) {
 	src := `<p>1 < 2 and 3 > 2</p>`
 	text := TextContent(src)

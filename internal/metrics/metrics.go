@@ -1,0 +1,105 @@
+// Package metrics provides the lock-free instrumentation primitives shared
+// by the crawler and the online audit service: an atomic counter and a
+// power-of-two latency histogram. Both are safe for concurrent use, cost no
+// allocation on the hot path, and snapshot without stopping writers.
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is an atomic monotonic counter. The zero value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// NumBuckets is the bucket count of a Histogram: bucket 33 caps at
+// 2^33 µs ≈ 2.4h, beyond any latency the pipeline meters.
+const NumBuckets = 34
+
+// Histogram is a lock-free histogram with power-of-two microsecond
+// buckets: bucket i counts latencies in [2^(i-1), 2^i) µs, so quantiles
+// resolve to within a factor of two — plenty for p50/p99 trend lines at
+// zero allocation on the hot path. The zero value is ready to use.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Int64
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := bits.Len64(uint64(us))
+	if i >= NumBuckets {
+		i = NumBuckets - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 {
+	var total int64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	return total
+}
+
+// Buckets returns a point-in-time copy of the bucket counts. Bucket i
+// counts observations in [2^(i-1), 2^i) microseconds (bucket 0: under
+// 1 µs; the last bucket also absorbs everything above its lower bound).
+func (h *Histogram) Buckets() [NumBuckets]int64 {
+	var out [NumBuckets]int64
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// BucketUpperBound returns the inclusive upper latency bound of bucket i.
+func BucketUpperBound(i int) time.Duration {
+	if i < 0 {
+		i = 0
+	}
+	if i >= NumBuckets {
+		i = NumBuckets - 1
+	}
+	return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+}
+
+// Quantile returns the upper bound of the bucket where the q-quantile
+// falls, or 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	var total int64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return BucketUpperBound(i)
+		}
+	}
+	return BucketUpperBound(NumBuckets - 1)
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("zero Counter loads %d", c.Load())
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("Load = %d, want 8000", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	if got := h.Total(); got != 0 {
+		t.Fatalf("empty histogram total = %d, want 0", got)
+	}
+}
+
+// TestHistogramBucketing pins the power-of-two bucket boundaries: an
+// observation of d microseconds lands in bucket Len64(d), and Quantile
+// resolves to that bucket's upper bound.
+func TestHistogramBucketing(t *testing.T) {
+	var h Histogram
+	h.Record(100 * time.Microsecond) // bucket 7: [64, 128) µs
+	if got := h.Quantile(0.5); got != 128*time.Microsecond {
+		t.Fatalf("quantile = %v, want 128µs", got)
+	}
+	if got := h.Total(); got != 1 {
+		t.Fatalf("total = %d, want 1", got)
+	}
+	b := h.Buckets()
+	if b[7] != 1 {
+		t.Fatalf("buckets = %v, want observation in bucket 7", b)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Record(time.Millisecond)
+	}
+	h.Record(time.Second)
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 > p99 {
+		t.Fatalf("p50 %v > p99 %v", p50, p99)
+	}
+	// 99 of 100 observations are ~1ms: p50 resolves within its bucket.
+	if p50 != 1024*time.Microsecond {
+		t.Fatalf("p50 = %v, want 1.024ms bucket bound", p50)
+	}
+	// rank 99 is the 1s outlier.
+	if p99 != h.Quantile(1.0) {
+		t.Fatalf("p99 %v != max %v with outlier at rank 99", p99, h.Quantile(1.0))
+	}
+}
+
+func TestHistogramNegativeAndHuge(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second)    // clamps to bucket 0
+	h.Record(100 * time.Hour) // clamps to the top bucket
+	b := h.Buckets()
+	if b[0] != 1 || b[NumBuckets-1] != 1 {
+		t.Fatalf("clamping failed: buckets %v", b)
+	}
+}
+
+func TestBucketUpperBound(t *testing.T) {
+	if got := BucketUpperBound(0); got != time.Microsecond {
+		t.Fatalf("bucket 0 bound = %v, want 1µs", got)
+	}
+	if got := BucketUpperBound(10); got != 1024*time.Microsecond {
+		t.Fatalf("bucket 10 bound = %v, want 1.024ms", got)
+	}
+	if BucketUpperBound(-1) != BucketUpperBound(0) || BucketUpperBound(NumBuckets) != BucketUpperBound(NumBuckets-1) {
+		t.Fatal("out-of-range bucket indices must clamp")
+	}
+}

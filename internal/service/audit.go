@@ -1,0 +1,134 @@
+package service
+
+import (
+	"time"
+
+	"clientres/internal/fingerprint"
+	"clientres/internal/vulndb"
+)
+
+// AuditLibrary is one detected library inclusion in an audit response.
+type AuditLibrary struct {
+	Slug string `json:"slug"`
+	// Known marks slugs from the study's top-15 table; only known libraries
+	// can match advisories.
+	Known   bool   `json:"known"`
+	Version string `json:"version,omitempty"`
+	// External marks inclusion from another host; Host is that host.
+	External bool   `json:"external,omitempty"`
+	Host     string `json:"host,omitempty"`
+	// SRI marks an integrity attribute; Crossorigin is the attribute value
+	// ("" when absent). An external inclusion without SRI is the paper's
+	// 99.7%-uncovered hygiene finding.
+	SRI         bool   `json:"sri,omitempty"`
+	Crossorigin string `json:"crossorigin,omitempty"`
+}
+
+// AuditFinding is one advisory matching a detected library version.
+type AuditFinding struct {
+	Library  string `json:"library"`
+	Version  string `json:"version"`
+	Advisory string `json:"advisory"`
+	Attack   string `json:"attack"`
+	// Disclosed is the advisory's public disclosure date (YYYY-MM-DD).
+	Disclosed string `json:"disclosed"`
+	// FixedIn is the patched version; empty when no fix exists.
+	FixedIn string `json:"fixed_in,omitempty"`
+	// PatchAvailableDays counts whole days between the patch release and
+	// the audit — how long the site has had a fix available, the online
+	// analogue of the paper's window-of-vulnerability. 0 when unpatched.
+	PatchAvailableDays int `json:"patch_available_days,omitempty"`
+	// PerCVEOnly marks matches that exist only under the CVE-disclosed
+	// range: the paper's PoC-validated range says NOT vulnerable
+	// (an overstated CVE — Section 6.4).
+	PerCVEOnly bool `json:"per_cve_only,omitempty"`
+	// Conditional marks advisories exploitable only under specific site
+	// behavior (Section 9).
+	Conditional bool `json:"conditional,omitempty"`
+}
+
+// AuditResponse is the JSON body of a successful POST /v1/audit. For a
+// given (page content, host, audit day) it is deterministic, which is what
+// makes responses cacheable and replayable byte-identically.
+type AuditResponse struct {
+	Host      string         `json:"host"`
+	Libraries []AuditLibrary `json:"libraries"`
+	Findings  []AuditFinding `json:"findings"`
+	// VulnerableTVV reports ≥1 finding under the PoC-validated ranges;
+	// VulnerableCVE under the (possibly inaccurate) CVE-disclosed ranges.
+	VulnerableTVV bool `json:"vulnerable_tvv"`
+	VulnerableCVE bool `json:"vulnerable_cve"`
+	// MissingSRI counts external inclusions without an integrity attribute.
+	MissingSRI    int    `json:"missing_sri"`
+	UsesFlash     bool   `json:"uses_flash,omitempty"`
+	InsecureFlash bool   `json:"insecure_flash,omitempty"`
+	WordPress     string `json:"wordpress,omitempty"`
+	ScriptCount   int    `json:"script_count"`
+}
+
+// Audit fingerprints one HTML document served from host and matches the
+// detected versions against the advisory database, as of now (which only
+// feeds PatchAvailableDays — detection and matching are time-independent).
+func Audit(html, host string, now time.Time) AuditResponse {
+	det := fingerprint.Page(html, host)
+	resp := AuditResponse{
+		Host:        host,
+		Libraries:   []AuditLibrary{},
+		Findings:    []AuditFinding{},
+		ScriptCount: det.ScriptCount,
+	}
+	if !det.WordPress.IsZero() {
+		resp.WordPress = det.WordPress.String()
+	}
+	for _, hit := range det.Libraries {
+		lib := AuditLibrary{
+			Slug: hit.Slug, Known: hit.Known,
+			External: hit.External, Host: hit.Host,
+			SRI: hit.SRI, Crossorigin: hit.Crossorigin,
+		}
+		if !hit.Version.IsZero() {
+			lib.Version = hit.Version.String()
+		}
+		resp.Libraries = append(resp.Libraries, lib)
+		if hit.External && !hit.SRI {
+			resp.MissingSRI++
+		}
+		if !hit.Known || hit.Version.IsZero() {
+			continue
+		}
+		for _, adv := range vulndb.AdvisoriesFor(hit.Slug) {
+			inTVV := adv.EffectiveTrueRange().Contains(hit.Version)
+			inCVE := adv.CVERange.Contains(hit.Version)
+			if !inTVV && !inCVE {
+				continue
+			}
+			f := AuditFinding{
+				Library: hit.Slug, Version: hit.Version.String(),
+				Advisory: adv.ID, Attack: string(adv.Attack),
+				Disclosed:   adv.Disclosed.Format("2006-01-02"),
+				PerCVEOnly:  inCVE && !inTVV,
+				Conditional: adv.Conditional,
+			}
+			if !adv.Patched.IsZero() {
+				f.FixedIn = adv.Patched.String()
+			}
+			if !adv.PatchDate.IsZero() {
+				if days := int(now.Sub(adv.PatchDate).Hours() / 24); days > 0 {
+					f.PatchAvailableDays = days
+				}
+			}
+			if inTVV {
+				resp.VulnerableTVV = true
+			}
+			if inCVE {
+				resp.VulnerableCVE = true
+			}
+			resp.Findings = append(resp.Findings, f)
+		}
+	}
+	if det.Flash != nil {
+		resp.UsesFlash = true
+		resp.InsecureFlash = det.Flash.Always
+	}
+	return resp
+}

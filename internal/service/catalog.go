@@ -1,0 +1,62 @@
+package service
+
+import (
+	"clientres/internal/vulndb"
+)
+
+// libraryEntries renders the advisory database's library catalog in the
+// paper's Table 1 order. The result is deterministic, so GET /v1/libraries
+// responses are byte-stable across requests and restarts.
+func libraryEntries() []libraryEntry {
+	libs := vulndb.Libraries()
+	out := make([]libraryEntry, 0, len(libs))
+	for _, l := range libs {
+		e := libraryEntry{
+			Slug: l.Slug, Name: l.Name,
+			Discontinued: l.Discontinued, Successor: l.Successor,
+			Advisories: len(vulndb.AdvisoriesFor(l.Slug)),
+		}
+		if c, ok := vulndb.CatalogFor(l.Slug); ok {
+			e.Releases = len(c.Releases)
+			if latest := c.Latest(); !latest.Version.IsZero() {
+				e.Latest = latest.Version.String()
+				e.LatestDate = latest.Date.Format("2006-01-02")
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// vulnEntries renders the advisories for one library slug; ok is false
+// when the slug names neither a known library nor any advisory.
+func vulnEntries(slug string) ([]vulnEntry, bool) {
+	_, known := vulndb.LibraryBySlug(slug)
+	advs := vulndb.AdvisoriesFor(slug)
+	if !known && len(advs) == 0 {
+		return nil, false
+	}
+	catalog, hasCatalog := vulndb.CatalogFor(slug)
+	out := make([]vulnEntry, 0, len(advs))
+	for _, a := range advs {
+		e := vulnEntry{
+			ID: a.ID, Attack: string(a.Attack),
+			CVERange:  a.CVERange.String(),
+			TrueRange: a.EffectiveTrueRange().String(),
+			Accuracy:  vulndb.Unvalidated.String(),
+			Disclosed: a.Disclosed.Format("2006-01-02"),
+			HasPoC:    a.HasPoC, Conditional: a.Conditional,
+		}
+		if hasCatalog {
+			e.Accuracy = a.ClassifyAccuracy(catalog).String()
+		}
+		if !a.Patched.IsZero() {
+			e.Patched = a.Patched.String()
+		}
+		if !a.PatchDate.IsZero() {
+			e.PatchDate = a.PatchDate.Format("2006-01-02")
+		}
+		out = append(out, e)
+	}
+	return out, true
+}

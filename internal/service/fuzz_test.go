@@ -1,0 +1,126 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	neturl "net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzAuditHandler drives arbitrary bodies through the complete HTTP
+// handler — routing, limits, content negotiation, fingerprinting, advisory
+// matching, caching, JSON encoding. The handler must never panic or hang,
+// must answer every request with a known status, and every 200 must carry
+// a decodable AuditResponse.
+func FuzzAuditHandler(f *testing.F) {
+	f.Add([]byte(vulnerablePage), "example.com", false)
+	f.Add([]byte(`<script src="https://code.jquery.com/jquery-1.12.4.min.js"></script>`), "example.com", false)
+	f.Add([]byte(`{"html": "<script src=\"/jquery-1.2.6.js\"></script>", "host": "h"}`), "", true)
+	f.Add([]byte(`{"url": "http://x.test/"}`), "", true)
+	f.Add([]byte(`{"url": "javascript:alert(1)"}`), "", true)
+	f.Add([]byte("<script src=\"http://a/\x00b.js\"></script>"), "\x00", false)
+	f.Add([]byte("<object classid=\"clsid:D27CDB6E\"><param name=\"movie\" value=\"x.swf\">"), "h", false)
+	f.Add([]byte(strings.Repeat("<script src=a@1.2.3/b.js>", 50)), "h", false)
+	f.Add([]byte(`<meta name=generator content="WordPress 99999999999999999999.1">`), "h", false)
+	f.Add([]byte{0xff, 0xfe, 0x00}, "::", false)
+
+	s := New(Config{
+		Workers: 2, QueueDepth: 256, CacheEntries: 64,
+		MaxBodyBytes: 1 << 20,
+		Now:          func() time.Time { return fixedNow },
+	})
+	f.Cleanup(s.Close)
+
+	f.Fuzz(func(t *testing.T, body []byte, host string, asJSON bool) {
+		target := "/v1/audit"
+		if host != "" {
+			target += "?host=" + neturl.QueryEscape(host)
+		}
+		req := httptest.NewRequest(http.MethodPost, target, strings.NewReader(string(body)))
+		if asJSON {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		rec := httptest.NewRecorder()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			s.ServeHTTP(rec, req)
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("audit handler hung on %d-byte body (json=%v)", len(body), asJSON)
+		}
+		switch rec.Code {
+		case http.StatusOK:
+			var resp AuditResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 with undecodable body: %v\n%q", err, rec.Body.Bytes())
+			}
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge,
+			http.StatusNotImplemented, http.StatusBadGateway:
+			// Expected refusals for adversarial input.
+		default:
+			t.Fatalf("unexpected status %d (body %q)", rec.Code, rec.Body.Bytes())
+		}
+	})
+}
+
+// Regression tests pinning the adversarial-input hardening the fuzz target
+// exercises (each was a refusal class that must stay a refusal, not become
+// a panic or a 500).
+
+func TestAuditHandlerNULBytes(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := postAudit(s, "<script src=\"http://a/\x00b.js\"></script>\x00", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("NUL-laden HTML status = %d, want 200 (it is still HTML)", rec.Code)
+	}
+	var resp AuditResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("NUL bytes broke JSON encoding: %v", err)
+	}
+}
+
+func TestAuditHandlerHugeVersionNumbers(t *testing.T) {
+	s := newTestServer(t, Config{})
+	page := `<script src="/jquery-99999999999999999999999999.9.js"></script>
+<meta name="generator" content="WordPress 340282366920938463463374607431768211456.0">`
+	rec := postAudit(s, page, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("huge versions status = %d, want 200", rec.Code)
+	}
+}
+
+func TestAuditHandlerDeeplyRepeatedTags(t *testing.T) {
+	s := newTestServer(t, Config{MaxBodyBytes: 1 << 20})
+	var b strings.Builder
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&b, `<script src="https://cdn.test/lib%d@1.%d.0/lib%d.min.js"></script>`, i, i, i)
+	}
+	rec := postAudit(s, b.String(), "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("many-script page status = %d, want 200", rec.Code)
+	}
+	var resp AuditResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ScriptCount != 5000 {
+		t.Fatalf("script count = %d, want 5000", resp.ScriptCount)
+	}
+}
+
+func TestAuditHandlerInvalidHostQuery(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := httptest.NewRequest(http.MethodPost, "/v1/audit?host=%00%0a%0d", strings.NewReader("<html></html>"))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("weird host status = %d, want 200", rec.Code)
+	}
+}

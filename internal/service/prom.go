@@ -1,0 +1,90 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+
+	"clientres/internal/metrics"
+)
+
+// handleMetrics renders every counter and latency quantile in Prometheus
+// text exposition format, handwritten — the repo takes no dependencies,
+// and the format is a few fmt.Fprintf calls. Series are emitted in a fixed
+// order so scrapes diff cleanly.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b bytes.Buffer
+
+	fmt.Fprintf(&b, "# HELP clientres_http_requests_total HTTP requests by endpoint and status class.\n")
+	fmt.Fprintf(&b, "# TYPE clientres_http_requests_total counter\n")
+	for _, em := range s.met.endpoints {
+		fmt.Fprintf(&b, "clientres_http_requests_total{endpoint=%q} %d\n", em.name, em.total.Load())
+		for cls := 1; cls <= 5; cls++ {
+			if n := em.codes[cls].Load(); n > 0 {
+				fmt.Fprintf(&b, "clientres_http_responses_total{endpoint=%q,code=\"%dxx\"} %d\n", em.name, cls, n)
+			}
+		}
+	}
+
+	fmt.Fprintf(&b, "# HELP clientres_http_request_duration_seconds Request latency quantiles (power-of-two microsecond buckets).\n")
+	fmt.Fprintf(&b, "# TYPE clientres_http_request_duration_seconds summary\n")
+	for _, em := range s.met.endpoints {
+		if em.lat.Total() == 0 {
+			continue
+		}
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.50}, {"0.99", 0.99}} {
+			fmt.Fprintf(&b, "clientres_http_request_duration_seconds{endpoint=%q,quantile=%q} %g\n",
+				em.name, q.label, em.lat.Quantile(q.q).Seconds())
+		}
+		fmt.Fprintf(&b, "clientres_http_request_duration_seconds_count{endpoint=%q} %d\n", em.name, em.lat.Total())
+	}
+
+	// Cumulative le-bucket export of the audit latency histogram, for
+	// scrapers that aggregate their own quantiles.
+	audit := s.met.endpoint("audit")
+	if audit.lat.Total() > 0 {
+		fmt.Fprintf(&b, "# TYPE clientres_audit_duration_us histogram\n")
+		var cum int64
+		for i, n := range audit.lat.Buckets() {
+			cum += n
+			if n == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "clientres_audit_duration_us_bucket{le=\"%d\"} %d\n",
+				metrics.BucketUpperBound(i).Microseconds(), cum)
+		}
+		fmt.Fprintf(&b, "clientres_audit_duration_us_bucket{le=\"+Inf\"} %d\n", cum)
+	}
+
+	fmt.Fprintf(&b, "# HELP clientres_audit_cache Response-cache traffic.\n")
+	fmt.Fprintf(&b, "# TYPE clientres_audit_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "clientres_audit_cache_hits_total %d\n", s.met.cacheHits.Load())
+	fmt.Fprintf(&b, "# TYPE clientres_audit_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "clientres_audit_cache_misses_total %d\n", s.met.cacheMisses.Load())
+	fmt.Fprintf(&b, "# TYPE clientres_audit_cache_evictions_total counter\n")
+	fmt.Fprintf(&b, "clientres_audit_cache_evictions_total %d\n", s.met.cacheEvictions.Load())
+	if s.cache != nil {
+		fmt.Fprintf(&b, "# TYPE clientres_audit_cache_entries gauge\n")
+		fmt.Fprintf(&b, "clientres_audit_cache_entries %d\n", s.cache.len())
+	}
+
+	fmt.Fprintf(&b, "# HELP clientres_audit_shed_total Audits refused by backpressure, by reason.\n")
+	fmt.Fprintf(&b, "# TYPE clientres_audit_shed_total counter\n")
+	fmt.Fprintf(&b, "clientres_audit_shed_total{reason=\"queue_full\"} %d\n", s.met.shedQueue.Load())
+	fmt.Fprintf(&b, "clientres_audit_shed_total{reason=\"rate_limited\"} %d\n", s.met.shedRate.Load())
+
+	fmt.Fprintf(&b, "# TYPE clientres_audit_fetches_total counter\n")
+	fmt.Fprintf(&b, "clientres_audit_fetches_total %d\n", s.met.fetches.Load())
+	fmt.Fprintf(&b, "# TYPE clientres_audit_fetch_failures_total counter\n")
+	fmt.Fprintf(&b, "clientres_audit_fetch_failures_total %d\n", s.met.fetchFailures.Load())
+
+	fmt.Fprintf(&b, "# TYPE clientres_audit_queue gauge\n")
+	fmt.Fprintf(&b, "clientres_audit_queue_depth %d\n", len(s.jobs))
+	fmt.Fprintf(&b, "clientres_audit_queue_capacity %d\n", cap(s.jobs))
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(b.Bytes())
+}

@@ -1,0 +1,69 @@
+package service
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// maxTrackedClients bounds the limiter's per-client map. When it fills, the
+// map resets wholesale — the same epoch eviction fingerprint.Memo uses:
+// cheap, allocation-free between epochs, and the brief post-reset grace (a
+// fresh bucket starts full) is harmless compared to unbounded growth under
+// an address-spraying client.
+const maxTrackedClients = 1 << 16
+
+// rateLimiter is a per-client token bucket: each client key accrues rate
+// tokens per second up to burst, and a request spends one. The clock is
+// injectable so tests can step time deterministically.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+	now   func() time.Time
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	b := float64(burst)
+	if b < 1 {
+		b = math.Max(1, 2*rate)
+	}
+	return &rateLimiter{
+		rate: rate, burst: b, now: now,
+		clients: make(map[string]*bucket),
+	}
+}
+
+// allow spends one token for client, reporting success and — on refusal —
+// how long until a token will be available (the Retry-After hint).
+func (l *rateLimiter) allow(client string) (retryAfter time.Duration, ok bool) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.clients[client]
+	if b == nil {
+		if len(l.clients) >= maxTrackedClients {
+			l.clients = make(map[string]*bucket)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.clients[client] = b
+	} else {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	need := (1 - b.tokens) / l.rate
+	return time.Duration(need * float64(time.Second)), false
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTokenBucketRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newRateLimiter(2, 4, func() time.Time { return now })
+
+	// A fresh client starts with a full burst.
+	for i := 0; i < 4; i++ {
+		if _, ok := l.allow("c"); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	retry, ok := l.allow("c")
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	// At 2 tokens/s a whole token is 500ms away.
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want (0, 500ms]", retry)
+	}
+
+	// 1s restores 2 tokens, not more than burst.
+	now = now.Add(time.Second)
+	for i := 0; i < 2; i++ {
+		if _, ok := l.allow("c"); !ok {
+			t.Fatalf("post-refill request %d refused", i)
+		}
+	}
+	if _, ok := l.allow("c"); ok {
+		t.Fatal("third post-refill request admitted")
+	}
+
+	// Long idle caps at burst.
+	now = now.Add(time.Hour)
+	for i := 0; i < 4; i++ {
+		if _, ok := l.allow("c"); !ok {
+			t.Fatalf("post-idle request %d refused", i)
+		}
+	}
+	if _, ok := l.allow("c"); ok {
+		t.Fatal("idle accrual exceeded burst")
+	}
+}
+
+func TestTokenBucketPerClientIsolation(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newRateLimiter(1, 1, func() time.Time { return now })
+	if _, ok := l.allow("a"); !ok {
+		t.Fatal("client a refused")
+	}
+	if _, ok := l.allow("a"); ok {
+		t.Fatal("client a over budget admitted")
+	}
+	if _, ok := l.allow("b"); !ok {
+		t.Fatal("client b must have its own bucket")
+	}
+}
+
+func TestTokenBucketEpochReset(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newRateLimiter(1, 1, func() time.Time { return now })
+	l.clients = make(map[string]*bucket, maxTrackedClients)
+	for i := 0; i < maxTrackedClients; i++ {
+		l.clients[fmt.Sprintf("c%d", i)] = &bucket{tokens: 0, last: now}
+	}
+	// A new client forces the epoch reset instead of unbounded growth.
+	if _, ok := l.allow("fresh"); !ok {
+		t.Fatal("fresh client refused after reset")
+	}
+	if len(l.clients) != 1 {
+		t.Fatalf("clients = %d, want 1 after epoch reset", len(l.clients))
+	}
+}
+
+func TestRetryAfterSecondsRoundsUp(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{10 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1500 * time.Millisecond, "2"},
+		{3 * time.Second, "3"},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,515 @@
+// Package service is the online vulnerability-audit API: a long-running
+// HTTP server that exposes the study's batch pipeline — fingerprint a page,
+// match the detected versions against the CVE/TVV advisory catalog, report
+// hygiene findings — as deterministic, cacheable audit responses.
+//
+// Endpoints:
+//
+//	POST /v1/audit      raw HTML body (or JSON {"url":...} / {"html":...})
+//	GET  /v1/libraries  the advisory database's library catalog
+//	GET  /v1/vulns/{lib} advisories for one library
+//	GET  /healthz       liveness probe
+//	GET  /metrics       Prometheus text-format counters and latency quantiles
+//
+// The production plumbing is the point: audits run on a bounded worker pool
+// with backpressure (503 + Retry-After when the queue is full), responses
+// are cached in a content-hash LRU (same FNV keying philosophy as
+// fingerprint.Memo), clients are token-bucket rate limited (429 +
+// Retry-After), every request gets an ID and a structured log line,
+// per-endpoint latency lands in shared power-of-two histograms
+// (internal/metrics), and shutdown drains in-flight audits before the
+// workers stop.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	neturl "net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clientres/internal/metrics"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers bounds concurrent audits (default 4).
+	Workers int
+	// QueueDepth bounds audits waiting for a worker (default 64). A full
+	// queue sheds with 503 + Retry-After instead of queueing unboundedly.
+	QueueDepth int
+	// CacheEntries bounds the content-hash LRU response cache (default
+	// 4096; negative disables caching).
+	CacheEntries int
+	// RatePerSec is the per-client token-bucket refill rate; 0 or negative
+	// disables rate limiting. Burst is the bucket capacity (default
+	// 2×RatePerSec, at least 1).
+	RatePerSec float64
+	Burst      int
+	// MaxBodyBytes caps an audit request body (default 2 MiB, matching the
+	// crawler's page cap).
+	MaxBodyBytes int64
+	// DrainTimeout bounds how long Serve waits for in-flight requests
+	// after shutdown begins (default 30s).
+	DrainTimeout time.Duration
+	// Fetch retrieves a URL for {"url": ...} audits — cmd/serve wires the
+	// resilient crawler fetch path here. nil disables URL audits (501).
+	Fetch func(ctx context.Context, url string) (status int, body string, err error)
+	// Logger receives one structured line per request; nil discards.
+	Logger *slog.Logger
+	// Now is the audit clock (PatchAvailableDays, rate-limiter refill);
+	// nil means time.Now. Injectable so tests are deterministic.
+	Now func() time.Time
+
+	// testHookAuditStart, when set, is called by a worker goroutine as it
+	// picks up each audit job — the shutdown test uses it to hold K audits
+	// in flight across Shutdown.
+	testHookAuditStart func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 2 << 20
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// endpointMetrics instruments one route.
+type endpointMetrics struct {
+	name  string
+	total metrics.Counter
+	codes [6]metrics.Counter // index = status/100; [0] counts abandoned requests
+	lat   metrics.Histogram
+}
+
+// serverMetrics aggregates every counter /metrics exports.
+type serverMetrics struct {
+	endpoints                              []*endpointMetrics
+	cacheHits, cacheMisses, cacheEvictions metrics.Counter
+	shedQueue, shedRate                    metrics.Counter
+	fetches, fetchFailures                 metrics.Counter
+}
+
+func (m *serverMetrics) endpoint(name string) *endpointMetrics {
+	for _, em := range m.endpoints {
+		if em.name == name {
+			return em
+		}
+	}
+	em := &endpointMetrics{name: name}
+	m.endpoints = append(m.endpoints, em)
+	return em
+}
+
+// Server is the audit service. It implements http.Handler; Serve adds the
+// listener lifecycle and graceful drain around it.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	mux     *http.ServeMux
+	cache   *lruCache    // nil when disabled
+	limiter *rateLimiter // nil when disabled
+	met     serverMetrics
+	jobs    chan *auditJob
+	wg      sync.WaitGroup
+	closed  sync.Once
+	reqSeq  atomic.Int64
+	start   time.Time
+}
+
+// New builds a Server and starts its worker pool. Callers that do not go
+// through Serve must Close it to stop the workers — after, not while,
+// requests are in flight.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		log:   cfg.Logger,
+		mux:   http.NewServeMux(),
+		jobs:  make(chan *auditJob, cfg.QueueDepth),
+		start: time.Now(),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newLRUCache(cfg.CacheEntries)
+	}
+	if cfg.RatePerSec > 0 {
+		s.limiter = newRateLimiter(cfg.RatePerSec, cfg.Burst, cfg.Now)
+	}
+	// Instantiate every endpoint's metrics up front so /metrics exports
+	// zero-valued series from the first scrape (counter absence and
+	// counter zero mean different things to a reconciler).
+	for _, name := range []string{"audit", "libraries", "vulns", "healthz", "metrics"} {
+		s.met.endpoint(name)
+	}
+	s.mux.HandleFunc("POST /v1/audit", s.instrument("audit", s.handleAudit))
+	s.mux.HandleFunc("GET /v1/libraries", s.instrument("libraries", s.handleLibraries))
+	s.mux.HandleFunc("GET /v1/vulns/{lib}", s.instrument("vulns", s.handleVulns))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the worker pool after draining queued audits. It must only
+// be called once no handler can still be submitting work (Serve guarantees
+// the ordering; direct users shut their http.Server down first).
+func (s *Server) Close() {
+	s.closed.Do(func() {
+		close(s.jobs)
+		s.wg.Wait()
+	})
+}
+
+// Serve runs the service on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes (new connections are refused), in-flight
+// requests drain for up to DrainTimeout, and only then does the worker
+// pool stop — so every admitted audit completes.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		err := hs.Shutdown(drainCtx)
+		s.Close()
+		return err
+	case err := <-errc:
+		s.Close()
+		return err
+	}
+}
+
+// ListenAndServe binds addr and calls Serve. The bound address (useful
+// with ":0") is sent on addrReady when non-nil, before serving begins.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, addrReady chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if addrReady != nil {
+		addrReady <- ln.Addr()
+	}
+	return s.Serve(ctx, ln)
+}
+
+// auditJob is one queued audit; reply is buffered so a worker never blocks
+// on a handler that abandoned the request.
+type auditJob struct {
+	html, host string
+	now        time.Time
+	reply      chan []byte
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		if s.cfg.testHookAuditStart != nil {
+			s.cfg.testHookAuditStart()
+		}
+		resp := Audit(j.html, j.host, j.now)
+		b, err := json.Marshal(resp)
+		if err != nil {
+			// Cannot happen for AuditResponse (no unmarshalable fields);
+			// degrade to an empty object rather than drop the reply.
+			b = []byte("{}")
+		}
+		j.reply <- append(b, '\n')
+	}
+}
+
+// statusWriter records the status and byte count a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps a handler with request IDs, status/latency metrics, and
+// one structured log line per request.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.met.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("req-%08x", s.reqSeq.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		startReq := time.Now()
+		h(sw, r)
+		d := time.Since(startReq)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		em.total.Inc()
+		if cls := sw.status / 100; cls >= 1 && cls <= 5 {
+			em.codes[cls].Inc()
+		} else {
+			em.codes[0].Inc()
+		}
+		em.lat.Record(d)
+		s.log.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"dur_us", d.Microseconds(),
+			"cache", sw.Header().Get("X-Cache"),
+			"client", clientKey(r),
+		)
+	}
+}
+
+// clientKey identifies the client for rate limiting: the first
+// X-Forwarded-For hop when present (the expected reverse-proxy deployment),
+// else the remote IP.
+func clientKey(r *http.Request) string {
+	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+		if i := strings.IndexByte(xff, ','); i >= 0 {
+			xff = xff[:i]
+		}
+		return strings.TrimSpace(xff)
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// auditRequest is the JSON form of POST /v1/audit.
+type auditRequest struct {
+	// URL audits a live page fetched through the resilient crawler path.
+	URL string `json:"url,omitempty"`
+	// HTML audits an inline document; Host sets the serving host for
+	// internal/external classification (default "audit.local").
+	HTML string `json:"html,omitempty"`
+	Host string `json:"host,omitempty"`
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if s.limiter != nil {
+		if retry, ok := s.limiter.allow(clientKey(r)); !ok {
+			s.met.shedRate.Inc()
+			w.Header().Set("Retry-After", retryAfterSeconds(retry))
+			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+			return
+		}
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, "error reading request body", http.StatusBadRequest)
+		}
+		return
+	}
+
+	html := string(body)
+	host := r.URL.Query().Get("host")
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		var req auditRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			http.Error(w, "invalid JSON body", http.StatusBadRequest)
+			return
+		}
+		switch {
+		case req.URL != "":
+			if s.cfg.Fetch == nil {
+				http.Error(w, "url audits are not enabled on this server", http.StatusNotImplemented)
+				return
+			}
+			u, err := neturl.Parse(req.URL)
+			if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+				http.Error(w, "invalid audit url", http.StatusBadRequest)
+				return
+			}
+			s.met.fetches.Inc()
+			status, page, err := s.cfg.Fetch(r.Context(), req.URL)
+			if err != nil {
+				s.met.fetchFailures.Inc()
+				http.Error(w, "upstream fetch failed", http.StatusBadGateway)
+				return
+			}
+			if status != http.StatusOK {
+				s.met.fetchFailures.Inc()
+				http.Error(w, fmt.Sprintf("upstream returned status %d", status), http.StatusBadGateway)
+				return
+			}
+			html, host = page, u.Host
+		case req.HTML != "":
+			html = req.HTML
+			if req.Host != "" {
+				host = req.Host
+			}
+		default:
+			http.Error(w, "one of \"url\" or \"html\" is required", http.StatusBadRequest)
+			return
+		}
+	}
+	if host == "" {
+		host = "audit.local"
+	}
+
+	key := cacheKey{hash: fnv1a64(html), n: len(html), host: host}
+	if s.cache != nil {
+		if cached, ok := s.cache.get(key); ok {
+			s.met.cacheHits.Inc()
+			w.Header().Set("X-Cache", "hit")
+			writeJSONBytes(w, cached)
+			return
+		}
+	}
+
+	job := &auditJob{html: html, host: host, now: s.cfg.Now(), reply: make(chan []byte, 1)}
+	select {
+	case s.jobs <- job:
+	default:
+		s.met.shedQueue.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "audit queue full", http.StatusServiceUnavailable)
+		return
+	}
+	select {
+	case resp := <-job.reply:
+		if s.cache != nil {
+			if ev := s.cache.add(key, resp); ev > 0 {
+				s.met.cacheEvictions.Add(int64(ev))
+			}
+		}
+		s.met.cacheMisses.Inc()
+		w.Header().Set("X-Cache", "miss")
+		writeJSONBytes(w, resp)
+	case <-r.Context().Done():
+		// The client went away; the buffered reply lets the worker finish
+		// without blocking. Nothing useful can be written.
+		http.Error(w, "client closed request", http.StatusServiceUnavailable)
+	}
+}
+
+// libraryEntry is one row of GET /v1/libraries.
+type libraryEntry struct {
+	Slug         string `json:"slug"`
+	Name         string `json:"name"`
+	Discontinued bool   `json:"discontinued,omitempty"`
+	Successor    string `json:"successor,omitempty"`
+	Releases     int    `json:"releases"`
+	Latest       string `json:"latest,omitempty"`
+	LatestDate   string `json:"latest_date,omitempty"`
+	Advisories   int    `json:"advisories"`
+}
+
+func (s *Server) handleLibraries(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"libraries": libraryEntries()})
+}
+
+// vulnEntry is one advisory row of GET /v1/vulns/{lib}.
+type vulnEntry struct {
+	ID        string `json:"id"`
+	Attack    string `json:"attack"`
+	CVERange  string `json:"cve_range"`
+	TrueRange string `json:"true_range"`
+	// Accuracy classifies the CVE range against the validated range over
+	// the library's release catalog (Section 6.4).
+	Accuracy    string `json:"accuracy"`
+	Patched     string `json:"patched,omitempty"`
+	Disclosed   string `json:"disclosed"`
+	PatchDate   string `json:"patch_date,omitempty"`
+	HasPoC      bool   `json:"has_poc,omitempty"`
+	Conditional bool   `json:"conditional,omitempty"`
+}
+
+func (s *Server) handleVulns(w http.ResponseWriter, r *http.Request) {
+	slug := r.PathValue("lib")
+	entries, ok := vulnEntries(slug)
+	if !ok {
+		http.Error(w, "unknown library", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"library": slug, "advisories": entries})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_s":  int64(time.Since(s.start).Seconds()),
+		"queue_cap": s.cfg.QueueDepth,
+		"workers":   s.cfg.Workers,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "encoding error", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(b, '\n'))
+}
+
+func writeJSONBytes(w http.ResponseWriter, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+}
+
+// retryAfterSeconds renders a Retry-After value, rounding up so clients
+// never retry before a token is actually available.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(d / time.Second)
+	if d%time.Second != 0 || secs == 0 {
+		secs++
+	}
+	return strconv.FormatInt(secs, 10)
+}

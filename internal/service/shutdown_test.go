@@ -1,0 +1,151 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGracefulShutdownDrainsInFlight is the satellite shutdown proof:
+// with K audits admitted (workers busy plus a full queue behind them),
+// initiating shutdown must (a) refuse new connections immediately and
+// (b) complete every admitted audit with a 200 — zero dropped requests.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	const (
+		workers = 2
+		K       = 6 // in-flight audits: 2 running + 4 queued
+	)
+	release := make(chan struct{})
+	started := make(chan struct{}, K)
+	cfg := Config{Workers: workers, QueueDepth: K, CacheEntries: -1}
+	cfg.testHookAuditStart = func() { started <- struct{}{}; <-release }
+	s := New(cfg)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	serveDone := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { serveDone <- s.Serve(ctx, ln) }()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	type outcome struct {
+		code int
+		err  error
+	}
+	results := make(chan outcome, K)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := client.Post("http://"+addr+"/v1/audit",
+				"text/html", strings.NewReader(fmt.Sprintf("<html>%d</html>", i)))
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			_, _ = io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			results <- outcome{code: resp.StatusCode}
+		}(i)
+	}
+
+	// Wait until both workers hold an audit and the other K-2 sit queued:
+	// every request is now admitted and none has answered.
+	for i := 0; i < workers; i++ {
+		select {
+		case <-started:
+		case <-time.After(10 * time.Second):
+			t.Fatal("workers never picked up audits")
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(s.jobs) != K-workers {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth = %d, want %d", len(s.jobs), K-workers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Begin the graceful shutdown while all K are in flight.
+	cancel()
+
+	// New connections must be refused once the listener closes.
+	refusedBy := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			break
+		}
+		_ = conn.Close()
+		if time.Now().After(refusedBy) {
+			t.Fatal("listener still accepting connections after shutdown began")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Release the workers: the drain must now complete every audit.
+	close(release)
+	wg.Wait()
+	close(results)
+	var completed int
+	for r := range results {
+		if r.err != nil {
+			t.Errorf("in-flight request dropped: %v", r.err)
+			continue
+		}
+		if r.code != http.StatusOK {
+			t.Errorf("in-flight request got %d, want 200", r.code)
+			continue
+		}
+		completed++
+	}
+	if completed != K {
+		t.Errorf("completed = %d, want all %d in-flight audits", completed, K)
+	}
+
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve never returned after drain")
+	}
+}
+
+// TestServeStopsCleanlyWhenIdle pins the no-traffic shutdown path.
+func TestServeStopsCleanlyWhenIdle(t *testing.T) {
+	s := New(Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+	// One round trip proves the server is up before we stop it.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("idle Serve never returned")
+	}
+}

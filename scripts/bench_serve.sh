@@ -1,0 +1,43 @@
+#!/bin/sh
+# Serve-path load test: runs BenchmarkServeAudit (cold vs warm response
+# cache) and appends one JSON line per result — req/s plus the service's
+# own p50/p99 audit latency — to BENCH_serve.json, so service PRs
+# accumulate a machine-readable before/after record. The benchmark fails
+# hard if the server's /metrics counters do not reconcile exactly with the
+# load generator's totals. Override the measurement budget with BENCHTIME
+# (default 1x, the smoke setting).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${OUT:-BENCH_serve.json}"
+
+raw=$(go test -run '^$' -bench 'BenchmarkServeAudit' \
+	-benchmem -benchtime "$BENCHTIME" .)
+printf '%s\n' "$raw"
+
+ts=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+printf '%s\n' "$raw" | awk -v ts="$ts" -v benchtime="$BENCHTIME" '
+/^Benchmark/ {
+	name = $1; iters = $2
+	ns = bytes = allocs = reqs = p50 = p99 = ""
+	for (i = 3; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		else if ($i == "B/op") bytes = $(i - 1)
+		else if ($i == "allocs/op") allocs = $(i - 1)
+		else if ($i == "req/s") reqs = $(i - 1)
+		else if ($i == "p50-ns") p50 = $(i - 1)
+		else if ($i == "p99-ns") p99 = $(i - 1)
+	}
+	line = sprintf("{\"ts\":\"%s\",\"benchtime\":\"%s\",\"bench\":\"%s\",\"iters\":%s,\"ns_per_op\":%s",
+		ts, benchtime, name, iters, ns)
+	if (bytes != "")  line = line sprintf(",\"bytes_per_op\":%s", bytes)
+	if (allocs != "") line = line sprintf(",\"allocs_per_op\":%s", allocs)
+	if (reqs != "")   line = line sprintf(",\"req_per_s\":%s", reqs)
+	if (p50 != "")    line = line sprintf(",\"audit_p50_ns\":%s", p50)
+	if (p99 != "")    line = line sprintf(",\"audit_p99_ns\":%s", p99)
+	print line "}"
+}' >> "$OUT"
+
+echo "appended results to $OUT"

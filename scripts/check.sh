@@ -22,12 +22,14 @@ echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test -run '^$' -fuzz '^FuzzTokenize$' -fuzztime "$FUZZTIME" ./internal/htmlx
 go test -run '^$' -fuzz '^FuzzParseVersion$' -fuzztime "$FUZZTIME" ./internal/semver
 go test -run '^$' -fuzz '^FuzzRange$' -fuzztime "$FUZZTIME" ./internal/semver
+go test -run '^$' -fuzz '^FuzzAuditHandler$' -fuzztime "$FUZZTIME" ./internal/service
 
-# One-iteration bench smoke of the store/fingerprint perf ablations: not
-# a measurement, just proof the benchmarks still build, run, and verify
-# their own observation counts.
-echo "==> bench smoke (store read + fingerprint memo, 1 iteration)"
-go test -run '^$' -bench 'BenchmarkStoreReadSegments|BenchmarkFingerprintMemo' \
+# One-iteration bench smoke of the store/fingerprint/serve perf ablations:
+# not a measurement, just proof the benchmarks still build, run, and verify
+# their own observation counts (BenchmarkServeAudit additionally reconciles
+# the service's /metrics counters against the load it generated).
+echo "==> bench smoke (store read + fingerprint memo + serve audit, 1 iteration)"
+go test -run '^$' -bench 'BenchmarkStoreReadSegments|BenchmarkFingerprintMemo|BenchmarkServeAudit' \
 	-benchmem -benchtime 1x .
 
 # Chaos-crawl smoke: an end-to-end cmd/crawl run with fault injection and
@@ -38,5 +40,28 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 go run ./cmd/crawl -domains 40 -weeks 3 -chaos 0.3 -politeness \
 	-out "$tmp/chaos.jsonl.gz" >/dev/null
+
+# Serve smoke: start the audit service on an ephemeral port, hit /healthz
+# and run one audit, then prove SIGTERM performs a clean graceful stop.
+echo "==> serve smoke (healthz + one audit + graceful stop)"
+go build -o "$tmp/serve" ./cmd/serve
+"$tmp/serve" -addr 127.0.0.1:0 -fetch=false >"$tmp/serve.out" 2>"$tmp/serve.log" &
+serve_pid=$!
+base=""
+for _ in $(seq 1 100); do
+	base=$(sed -n 's|^serving on ||p' "$tmp/serve.out")
+	[ -n "$base" ] && break
+	sleep 0.1
+done
+[ -n "$base" ] || { echo "serve never came up"; cat "$tmp/serve.log"; exit 1; }
+curl -fsS "$base/healthz" | grep -q '"status":"ok"'
+curl -fsS -X POST --data-binary \
+	'<script src="https://code.jquery.com/jquery-1.12.4.min.js"></script>' \
+	"$base/v1/audit?host=smoke.test" | grep -q '"vulnerable_tvv":true'
+curl -fsS "$base/v1/libraries" | grep -q '"slug":"jquery"'
+curl -fsS "$base/metrics" | grep -q 'clientres_audit_cache_misses_total 1'
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "serve did not stop cleanly"; cat "$tmp/serve.log"; exit 1; }
+grep -q "drained and stopped" "$tmp/serve.log"
 
 echo "OK"
