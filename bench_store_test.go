@@ -8,8 +8,10 @@ package clientres
 // also cuts allocations/op). BenchmarkFingerprintMemo measures the
 // re-crawl fingerprinting cost with and without the content-hash memo —
 // the week-over-week unchanged-page case the paper's 531-day mean update
-// delay makes dominant. `make bench-store` runs both and appends
-// machine-readable results to BENCH_store.json.
+// delay makes dominant. BenchmarkStoreWrite measures the write-path
+// durability tax: record framing (checksums) and per-week commit fsyncs
+// versus the original unframed stream. `make bench-store` runs all three
+// and appends machine-readable results to BENCH_store.json.
 
 import (
 	"fmt"
@@ -127,6 +129,90 @@ func BenchmarkStoreReadSegments(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkStoreWrite measures the durability tax on the write path:
+// "plain-v1" is the original unframed single-file archive, "framed" the v2
+// segmented layout with per-record length+checksum frames, and
+// "framed-commit" the fully crash-safe configuration — one CommitWeek
+// (segment flush + gzip member close + fsync + atomic checkpoint) per
+// collected week. The framed and framed-commit costs over plain-v1 are the
+// checksum and fsync overhead EXPERIMENTS.md tracks (budget: under ~10%).
+func BenchmarkStoreWrite(b *testing.B) {
+	obs, weeks := benchData(b)
+	perWeek := make([][]store.Observation, weeks)
+	for _, o := range obs {
+		perWeek[o.Week] = append(perWeek[o.Week], o)
+	}
+	var bytes int64
+	writeAll := func(b *testing.B, w store.Sink) {
+		b.Helper()
+		for _, o := range obs {
+			if err := w.Write(o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	finish := func(b *testing.B, w store.Sink, path string) {
+		b.Helper()
+		if w.Count() != len(obs) {
+			b.Fatalf("wrote %d observations, want %d", w.Count(), len(obs))
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if fi, err := os.Stat(path); err == nil {
+			bytes = fi.Size()
+		}
+	}
+	dir := b.TempDir()
+	b.Run("plain-v1", func(b *testing.B) {
+		path := filepath.Join(dir, "plain.jsonl.gz")
+		for i := 0; i < b.N; i++ {
+			w, err := store.Create(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			writeAll(b, w)
+			finish(b, w, path)
+			b.SetBytes(bytes)
+		}
+	})
+	b.Run("framed", func(b *testing.B) {
+		path := filepath.Join(dir, "framed.store")
+		for i := 0; i < b.N; i++ {
+			w, err := store.CreateSegmented(path, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			writeAll(b, w)
+			finish(b, w, store.SegmentPath(path, 0))
+			b.SetBytes(bytes)
+		}
+	})
+	b.Run("framed-commit", func(b *testing.B) {
+		path := filepath.Join(dir, "commit.store")
+		run := store.RunID{Seed: 1, Domains: len(perWeek[0]), Weeks: weeks}
+		for i := 0; i < b.N; i++ {
+			w, err := store.CreateSegmentedWith(path, 1,
+				store.SegmentedOptions{Checkpoint: true, Run: run})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for wk, week := range perWeek {
+				for _, o := range week {
+					if err := w.Write(o); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := w.CommitWeek(wk); err != nil {
+					b.Fatal(err)
+				}
+			}
+			finish(b, w, store.SegmentPath(path, 0))
+			b.SetBytes(bytes)
+		}
+	})
 }
 
 // BenchmarkFingerprintMemo measures one simulated re-crawl week: every

@@ -9,6 +9,8 @@
 //	crawl -domains 2000 -weeks 50 -workers 64 -shards 4 -out crawl.jsonl.gz
 //	crawl -shards 4 -segments 4 -out crawl.store -cpuprofile crawl.pprof
 //	crawl -politeness -chaos 0.2 -weeks 8 -out drill.jsonl.gz   # fault drill
+//	crawl -checkpoint -out crawl.store       # journal every completed week
+//	crawl -resume -out crawl.store           # continue a crashed run
 package main
 
 import (
@@ -45,6 +47,8 @@ func main() {
 	retryBudget := flag.Int("retry-budget", 0, "per-week shared retry budget (0 = one per domain, negative = unlimited; with -politeness)")
 	chaos := flag.Float64("chaos", 0, "fault-injection rate per (domain, week) on the loopback server: stalls, resets, truncated bodies, slow-loris (0 disables)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault schedule seed (with -chaos)")
+	checkpoint := flag.Bool("checkpoint", false, "commit a crash-safety journal after every completed week (forces the segmented store layout; reports are identical either way)")
+	resume := flag.Bool("resume", false, "resume a crashed -checkpoint run from its journal: verify and replay the committed weeks, then continue at the first incomplete week (implies -checkpoint)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -68,9 +72,11 @@ func main() {
 			BreakerCooldown:  *breakerCooldown,
 			RetryBudget:      *retryBudget,
 		},
-		ChaosRate: *chaos,
-		ChaosSeed: *chaosSeed,
-		SkipPoC:   true,
+		ChaosRate:  *chaos,
+		ChaosSeed:  *chaosSeed,
+		Checkpoint: *checkpoint,
+		Resume:     *resume,
+		SkipPoC:    true,
 		Progress: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

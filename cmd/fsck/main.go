@@ -1,0 +1,107 @@
+// Command fsck verifies and repairs segmented observation stores — the
+// recovery tool for crawls that died mid-run.
+//
+// Three modes:
+//
+//	fsck -store crawl.store           # verify: full checksum replay, counts
+//	                                  # cross-checked against the manifest
+//	fsck -store crawl.store -stats    # inspect: report manifest, checkpoint,
+//	                                  # and per-segment state, judge nothing
+//	fsck -store crawl.store -repair   # salvage: restore the store to its
+//	                                  # last checkpoint, or to each segment's
+//	                                  # longest valid record prefix
+//
+// Verify exits non-zero on any integrity failure, so it drops into shell
+// pipelines and CI. Repair never loses committed weeks: a checkpointed
+// store that cannot be restored to its committed state is an error, not a
+// shorter archive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"clientres/internal/store"
+)
+
+func main() {
+	dir := flag.String("store", "", "segmented store directory to check")
+	repair := flag.Bool("repair", false, "salvage the store in place instead of verifying")
+	stats := flag.Bool("stats", false, "inspect and report state without verifying or repairing")
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("fsck: -store is required")
+	}
+
+	switch {
+	case *stats:
+		in, err := store.Inspect(*dir)
+		if err != nil {
+			log.Fatalf("fsck: %v", err)
+		}
+		printInspection(in)
+	case *repair:
+		res, err := store.Salvage(*dir)
+		if err != nil {
+			log.Fatalf("fsck: %v", err)
+		}
+		switch {
+		case res.Intact:
+			fmt.Printf("%s: intact (%d segments, %d records) — nothing to repair\n",
+				*dir, res.Segments, res.Total)
+		case res.FromCheckpoint:
+			fmt.Printf("%s: restored to last checkpoint (%d segments, %d records; %d torn segments, %d bytes amputated)\n",
+				*dir, res.Segments, res.Total, res.TornSegments, res.DroppedBytes)
+		default:
+			fmt.Printf("%s: salvaged by prefix scan (%d segments, %d records kept; %d torn segments)\n",
+				*dir, res.Segments, res.Total, res.TornSegments)
+		}
+	default:
+		in, err := store.Verify(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsck: %v\n", err)
+			fmt.Fprintf(os.Stderr, "fsck: %s FAILED verification — run with -repair to salvage\n", *dir)
+			os.Exit(1)
+		}
+		salvaged := ""
+		if in.Manifest.Salvaged {
+			salvaged = " (salvaged archive)"
+		}
+		fmt.Printf("%s: ok — %d segments, %d records, all checksums valid%s\n",
+			*dir, in.Manifest.Segments, in.TotalRecords, salvaged)
+	}
+}
+
+func printInspection(in store.Inspection) {
+	fmt.Printf("store %s\n", in.Dir)
+	switch {
+	case in.HasManifest:
+		fmt.Printf("  manifest: v%d, %d segments, %d records declared, salvaged=%v\n",
+			in.Manifest.Version, in.Manifest.Segments, in.Manifest.Total, in.Manifest.Salvaged)
+	case in.ManifestErr != "":
+		fmt.Printf("  manifest: CORRUPT (%s)\n", in.ManifestErr)
+	default:
+		fmt.Printf("  manifest: missing (crashed or in-progress run)\n")
+	}
+	switch {
+	case in.HasCheckpoint:
+		fmt.Printf("  checkpoint: %d weeks committed, %d records (run seed=%d domains=%d weeks=%d)\n",
+			in.Checkpoint.CommittedWeeks, in.Checkpoint.Total,
+			in.Checkpoint.Run.Seed, in.Checkpoint.Run.Domains, in.Checkpoint.Run.Weeks)
+	case in.CheckpointErr != "":
+		fmt.Printf("  checkpoint: CORRUPT (%s)\n", in.CheckpointErr)
+	default:
+		fmt.Printf("  checkpoint: none\n")
+	}
+	for _, seg := range in.Segments {
+		state := "clean"
+		if seg.Truncated {
+			state = "TORN: " + seg.Err
+		}
+		fmt.Printf("  seg %04d: %8d bytes, %7d records, %s\n",
+			seg.Index, seg.SizeBytes, seg.Records, state)
+	}
+	fmt.Printf("  total decodable records: %d\n", in.TotalRecords)
+}

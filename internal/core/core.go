@@ -78,6 +78,22 @@ type Config struct {
 	// both writing and replaying parallelize. 0 or 1 keeps the single-file
 	// format. Both layouts replay to byte-identical reports.
 	StoreSegments int
+	// Checkpoint enables week-granular crash safety for the store: after
+	// every completed week each segment is flushed, its gzip member
+	// finished, and fsynced, and a checkpoint journal is committed
+	// atomically, so a crash loses at most the week in flight. Requires
+	// StorePath and forces the segmented layout (StoreSegments 0/1 becomes
+	// one segment). Checkpointing changes no observation: a checkpointed
+	// run's report is byte-identical to an unjournaled one (proven by the
+	// resume equivalence tests).
+	Checkpoint bool
+	// Resume restarts a crashed checkpointed run from its journal instead
+	// of starting over (implies Checkpoint): the store's committed weeks
+	// are verified against the checkpoint and replayed into the collectors,
+	// any torn tail past the last commit is amputated, and collection
+	// continues at the first incomplete week. The resumed run's report is
+	// byte-identical to an uninterrupted run of the same configuration.
+	Resume bool
 	// FingerprintCacheSize bounds the per-shard fingerprint memo cache
 	// used on the crawl path (entries; 0 = default, negative = disable).
 	// Unchanged page bodies — the common case week over week, per the
@@ -88,6 +104,19 @@ type Config struct {
 	Progress func(format string, args ...any)
 	// SkipPoC skips the version-validation experiment.
 	SkipPoC bool
+
+	// startWeek and resumeFrom carry the resume state from Run into the
+	// collect paths: collection restarts at startWeek after the committed
+	// prefix recorded in resumeFrom has been replayed and verified.
+	startWeek  int
+	resumeFrom store.Checkpoint
+	resuming   bool
+}
+
+// runID is the identity stamped into the checkpoint journal; a resume
+// refuses a journal written under a different study configuration.
+func (cfg Config) runID() store.RunID {
+	return store.RunID{Seed: cfg.Seed, Domains: cfg.Domains, Weeks: cfg.Weeks, Mode: int(cfg.Mode)}
 }
 
 // Results bundles every collector plus the PoC findings after a run.
@@ -203,13 +232,36 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	res := newResults(cfg.Weeks, cfg.Domains)
 	res.Eco = eco
 
+	if cfg.Resume {
+		cfg.Checkpoint = true
+	}
+	if cfg.Checkpoint && cfg.StorePath == "" {
+		return nil, fmt.Errorf("core: Checkpoint requires StorePath")
+	}
+
 	var writer store.Sink
 	if cfg.StorePath != "" {
 		var w store.Sink
 		var err error
-		if cfg.StoreSegments > 1 {
+		switch {
+		case cfg.Resume:
+			sw, ck, rerr := store.ResumeSegmented(cfg.StorePath, store.SegmentedOptions{Run: cfg.runID()})
+			if rerr != nil {
+				return nil, rerr
+			}
+			cfg.resumeFrom, cfg.resuming = ck, true
+			cfg.startWeek = ck.CommittedWeeks
+			w = sw
+		case cfg.Checkpoint:
+			segments := cfg.StoreSegments
+			if segments < 1 {
+				segments = 1
+			}
+			w, err = store.CreateSegmentedWith(cfg.StorePath, segments,
+				store.SegmentedOptions{Checkpoint: true, Run: cfg.runID()})
+		case cfg.StoreSegments > 1:
 			w, err = store.CreateSegmented(cfg.StorePath, cfg.StoreSegments)
-		} else {
+		default:
 			w, err = store.Create(cfg.StorePath)
 		}
 		if err != nil {
@@ -226,9 +278,19 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 		err = collectDirect(ctx, cfg, eco, res, writer)
 	}
 	if writer != nil {
-		// A failed close loses the gzip footer — and with it data the
-		// readers can never recover; never swallow it.
-		if cerr := writer.Close(); err == nil {
+		if err != nil {
+			// A failed run must never write a manifest — the directory keeps
+			// reading as incomplete, and the last checkpoint (if any) stays
+			// authoritative for salvage and resume. Abort is the deliberate
+			// crash: close without flushing, losing only uncommitted state.
+			if ab, ok := writer.(interface{ Abort() error }); ok {
+				_ = ab.Abort()
+			} else {
+				_ = writer.Close()
+			}
+		} else if cerr := writer.Close(); cerr != nil {
+			// A failed close loses the gzip footer — and with it data the
+			// readers can never recover; never swallow it.
 			err = cerr
 		}
 	}
@@ -245,6 +307,55 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	return res, nil
 }
 
+// commitWeek makes week (0-based) durable on a checkpointed writer — the
+// per-week commit point of a crash-safe run. The caller must have quiesced
+// all writes for the week (every collect loop has a natural per-week
+// barrier). No-op without Checkpoint.
+func commitWeek(cfg Config, writer store.Sink, week int) error {
+	if !cfg.Checkpoint || writer == nil {
+		return nil
+	}
+	cw, ok := writer.(interface{ CommitWeek(int) error })
+	if !ok {
+		return fmt.Errorf("core: Checkpoint set but the store writer cannot commit weeks")
+	}
+	if err := cw.CommitWeek(week); err != nil {
+		return err
+	}
+	cfg.Progress("week %3d/%d committed", week+1, cfg.Weeks)
+	return nil
+}
+
+// replayCommitted rebuilds collector state from the committed prefix of a
+// resumed store, routing each observation to its shard's runner exactly as
+// live collection would, and verifies the journal: each segment must replay
+// exactly the record count the checkpoint committed. Collection then
+// continues at the first incomplete week as if the crash never happened.
+func replayCommitted(cfg Config, runners []*analysis.Runner) error {
+	ck := cfg.resumeFrom
+	for s := 0; s < ck.Segments; s++ {
+		n := 0
+		if err := store.ForEachSegment(cfg.StorePath, s, func(obs store.Observation) error {
+			if obs.Week >= ck.CommittedWeeks {
+				return fmt.Errorf("core: resume: segment %d holds week %d past the %d committed",
+					s, obs.Week, ck.CommittedWeeks)
+			}
+			runners[shardOf(obs.Domain, len(runners))].Observe(obs)
+			n++
+			return nil
+		}); err != nil {
+			return err
+		}
+		if n != ck.Counts[s] {
+			return fmt.Errorf("core: resume: segment %d replays %d records, checkpoint committed %d",
+				s, n, ck.Counts[s])
+		}
+	}
+	cfg.Progress("resumed: %d/%d weeks committed, %d records verified and replayed",
+		ck.CommittedWeeks, cfg.Weeks, ck.Total)
+	return nil
+}
+
 // collectDirect streams ground-truth observations, weeks ascending. With
 // Shards > 1 the sites are partitioned by domain hash and each shard folds
 // its partition into a private collector set on its own goroutine, with a
@@ -252,7 +363,12 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 func collectDirect(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res *Results, writer store.Sink) error {
 	if cfg.Shards == 1 {
 		runner := res.runner()
-		for w := 0; w < cfg.Weeks; w++ {
+		if cfg.resuming {
+			if err := replayCommitted(cfg, []*analysis.Runner{runner}); err != nil {
+				return err
+			}
+		}
+		for w := cfg.startWeek; w < cfg.Weeks; w++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -266,6 +382,9 @@ func collectDirect(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res *
 				}
 			}
 			cfg.Progress("week %3d/%d collected (direct)", w+1, cfg.Weeks)
+			if err := commitWeek(cfg, writer, w); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -281,9 +400,14 @@ func collectDirect(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res *
 		shardRes[s] = newResults(cfg.Weeks, cfg.Domains)
 		runners[s] = shardRes[s].runner()
 	}
+	if cfg.resuming {
+		if err := replayCommitted(cfg, runners); err != nil {
+			return err
+		}
+	}
 	write := lockedWrite(writer)
 	errs := make([]error, cfg.Shards)
-	for w := 0; w < cfg.Weeks; w++ {
+	for w := cfg.startWeek; w < cfg.Weeks; w++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -311,6 +435,10 @@ func collectDirect(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res *
 			}
 		}
 		cfg.Progress("week %3d/%d collected (direct, %d shards)", w+1, cfg.Weeks, cfg.Shards)
+		// The wg barrier above quiesced every shard's writes for the week.
+		if err := commitWeek(cfg, writer, w); err != nil {
+			return err
+		}
 	}
 	for _, sr := range shardRes {
 		res.Merge(sr)
@@ -384,7 +512,12 @@ func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res 
 	if cfg.Shards == 1 {
 		runner := res.runner()
 		memo := cfg.memo()
-		for w := 0; w < cfg.Weeks; w++ {
+		if cfg.resuming {
+			if err := replayCommitted(cfg, []*analysis.Runner{runner}); err != nil {
+				return err
+			}
+		}
+		for w := cfg.startWeek; w < cfg.Weeks; w++ {
 			// CrawlWeek invokes the callback from a single goroutine (its
 			// documented contract, asserted by the crawler's contract
 			// tests), so the plain obsErr capture and the memo use are
@@ -404,49 +537,89 @@ func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res 
 				return obsErr
 			}
 			cfg.Progress("week %3d/%d crawled", w+1, cfg.Weeks)
+			if err := commitWeek(cfg, writer, w); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
 
 	shardRes := make([]*Results, cfg.Shards)
+	runners := make([]*analysis.Runner, cfg.Shards)
+	for s := range shardRes {
+		shardRes[s] = newResults(cfg.Weeks, cfg.Domains)
+		runners[s] = shardRes[s].runner()
+	}
+	if cfg.resuming {
+		// Replay happens-before the shard workers start, so the runners need
+		// no locking here.
+		if err := replayCommitted(cfg, runners); err != nil {
+			return err
+		}
+	}
 	chans := make([]chan crawler.Page, cfg.Shards)
 	errs := make([]error, cfg.Shards)
 	write := lockedWrite(writer)
+	// pending, on checkpointed runs, is the per-week drain barrier: the
+	// shard workers consume pages asynchronously, so CrawlWeek returning
+	// does not mean the week's observations reached the store. Every page
+	// handed to a channel is Add-ed, every processed page Done-d; waiting
+	// on it after CrawlWeek quiesces all writes before CommitWeek.
+	var pending *sync.WaitGroup
+	if cfg.Checkpoint {
+		pending = new(sync.WaitGroup)
+	}
 	var wg sync.WaitGroup
 	for s := 0; s < cfg.Shards; s++ {
-		shardRes[s] = newResults(cfg.Weeks, cfg.Domains)
 		chans[s] = make(chan crawler.Page, 128)
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			runner := shardRes[s].runner()
+			runner := runners[s]
 			memo := cfg.memo()
 			for p := range chans[s] {
-				if errs[s] != nil {
-					continue // drain after a failure so the feeder never blocks
-				}
-				obs := crawlObservation(byName, memo, p)
-				runner.Observe(obs)
-				if write != nil {
-					if err := write(obs); err != nil {
-						errs[s] = err
+				if errs[s] == nil {
+					obs := crawlObservation(byName, memo, p)
+					runner.Observe(obs)
+					if write != nil {
+						if err := write(obs); err != nil {
+							errs[s] = err
+						}
 					}
+				} // else: drain after a failure so the feeder never blocks
+				if pending != nil {
+					pending.Done()
 				}
 			}
 		}(s)
 	}
 	crawlErr := func() error {
-		for w := 0; w < cfg.Weeks; w++ {
+		for w := cfg.startWeek; w < cfg.Weeks; w++ {
 			// CrawlWeek returns only after every page of the week has been
 			// handed to the callback, so each domain's pages enter its
 			// shard channel in week-ascending order.
 			err := cr.CrawlWeek(ctx, w, domains, func(p crawler.Page) {
+				if pending != nil {
+					pending.Add(1)
+				}
 				chans[shardOf(p.Domain, cfg.Shards)] <- p
 			})
 			if err != nil {
 				return err
 			}
 			cfg.Progress("week %3d/%d crawled (%d shards)", w+1, cfg.Weeks, cfg.Shards)
+			if pending != nil {
+				pending.Wait()
+				// The barrier synchronizes the workers' errs writes too.
+				for _, e := range errs {
+					if e != nil {
+						return e
+					}
+				}
+				if err := commitWeek(cfg, writer, w); err != nil {
+					return err
+				}
+			}
 		}
 		return nil
 	}()

@@ -1,0 +1,107 @@
+// Run checkpointing: the week-granular durability journal.
+//
+// The paper's collection shape — 201 weekly snapshots over four years —
+// makes mid-run crashes a certainty, and without a journal a crash
+// anywhere loses the whole archive (the manifest is only written on a
+// clean Close). The checkpoint closes that hole: after every completed
+// week the segmented writer flushes and fsyncs each segment, finishes the
+// open gzip member so the committed prefix is independently decodable, and
+// commits checkpoint.json atomically (temp file + fsync + rename + dir
+// fsync). The journal records, per segment, the committed byte offset and
+// record count; a resume truncates each segment back to its committed
+// offset — amputating any torn tail the crash left — verifies the counts
+// by replay, and restarts collection at the first incomplete week.
+
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CheckpointName is the journal file inside a segmented store directory.
+const CheckpointName = "checkpoint.json"
+
+// CheckpointVersion is the journal format version this package writes.
+const CheckpointVersion = 1
+
+// RunID identifies the run a checkpoint belongs to. A resume refuses a
+// checkpoint whose identity differs from the resuming configuration:
+// splicing weeks of two different runs would silently corrupt the study.
+type RunID struct {
+	Seed    int64 `json:"seed"`
+	Domains int   `json:"domains"`
+	// Weeks is the total planned week count of the run, not the committed
+	// prefix (that lives in Checkpoint.CommittedWeeks).
+	Weeks int `json:"weeks"`
+	Mode  int `json:"mode"`
+}
+
+// Checkpoint is the on-disk journal state: everything through week
+// CommittedWeeks-1 is durably on disk at the recorded per-segment offsets.
+type Checkpoint struct {
+	Version int `json:"version"`
+	// CommittedWeeks counts fully committed weeks; the next week to
+	// collect is week CommittedWeeks (0-based).
+	CommittedWeeks int     `json:"committed_weeks"`
+	Segments       int     `json:"segments"`
+	Offsets        []int64 `json:"offsets"`
+	Counts         []int   `json:"counts"`
+	Total          int     `json:"total"`
+	Run            RunID   `json:"run"`
+}
+
+// CheckpointPath returns the journal path inside a store directory.
+func CheckpointPath(dir string) string { return filepath.Join(dir, CheckpointName) }
+
+// HasCheckpoint reports whether dir carries a checkpoint journal.
+func HasCheckpoint(dir string) bool {
+	_, err := os.Stat(CheckpointPath(dir))
+	return err == nil
+}
+
+// ReadCheckpoint loads and validates a store's checkpoint journal.
+func ReadCheckpoint(dir string) (Checkpoint, error) {
+	data, err := os.ReadFile(CheckpointPath(dir))
+	if err != nil {
+		return Checkpoint{}, fmt.Errorf("store: %s: %w", dir, err)
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return Checkpoint{}, fmt.Errorf("store: %s: corrupt checkpoint: %w", dir, err)
+	}
+	if ck.Version != CheckpointVersion {
+		return Checkpoint{}, fmt.Errorf("store: %s: checkpoint version %d not supported", dir, ck.Version)
+	}
+	if ck.Segments < 1 || ck.Segments != len(ck.Offsets) || ck.Segments != len(ck.Counts) {
+		return Checkpoint{}, fmt.Errorf("store: %s: checkpoint inconsistent (%d segments, %d offsets, %d counts)",
+			dir, ck.Segments, len(ck.Offsets), len(ck.Counts))
+	}
+	if ck.CommittedWeeks < 1 {
+		return Checkpoint{}, fmt.Errorf("store: %s: checkpoint commits no weeks", dir)
+	}
+	total := 0
+	for i := range ck.Offsets {
+		if ck.Offsets[i] < 0 || ck.Counts[i] < 0 {
+			return Checkpoint{}, fmt.Errorf("store: %s: checkpoint segment %d negative", dir, i)
+		}
+		total += ck.Counts[i]
+	}
+	if total != ck.Total {
+		return Checkpoint{}, fmt.Errorf("store: %s: checkpoint totals inconsistent (%d declared, %d summed)",
+			dir, ck.Total, total)
+	}
+	return ck, nil
+}
+
+// writeCheckpoint commits the journal atomically: a crash during the write
+// leaves the previous checkpoint authoritative, never a torn one.
+func writeCheckpoint(fsys FS, dir string, ck Checkpoint) error {
+	data, err := json.MarshalIndent(ck, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return atomicWriteFile(fsys, CheckpointPath(dir), append(data, '\n'))
+}

@@ -1,0 +1,317 @@
+// Store fsck: integrity verification and corrupt-archive salvage.
+//
+// Crash recovery has two authorities, consulted in order. A valid manifest
+// whose declared counts survive a full checksum-verified replay means the
+// archive is intact — salvage is a no-op. Failing that, a checkpoint
+// journal is exact: each segment is truncated back to its committed byte
+// offset and the committed record counts are re-verified by replay, so a
+// salvaged checkpointed store contains precisely the committed weeks —
+// never less (losing committed weeks is an error, not a repair). With
+// neither authority — a legacy store torn mid-write — salvage falls back
+// to scanning: each segment keeps its longest decodable, checksum-valid
+// record prefix (rewritten through a temp file and renamed into place),
+// and the rebuilt manifest is marked salvaged so downstream tooling knows
+// the archive is a recovered prefix, not a complete run.
+
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SegmentInfo is one segment's inspection result.
+type SegmentInfo struct {
+	Index     int
+	Path      string
+	SizeBytes int64
+	// Records counts the decodable, checksum-valid record prefix.
+	Records int
+	// Truncated marks a segment whose scan stopped at a decode error
+	// (torn gzip member, bad frame, checksum mismatch); Err carries it.
+	Truncated bool
+	Err       string
+}
+
+// Inspection is the full fsck view of a store directory.
+type Inspection struct {
+	Dir           string
+	HasManifest   bool
+	Manifest      Manifest
+	ManifestErr   string
+	HasCheckpoint bool
+	Checkpoint    Checkpoint
+	CheckpointErr string
+	Segments      []SegmentInfo
+	TotalRecords  int
+}
+
+// segmentFiles lists dir's segment files and verifies they are contiguous
+// seg-0000..seg-(n-1).
+func segmentFiles(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl.gz"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var paths []string
+	for _, m := range matches {
+		if _, ok := segmentIndex(dir, m); ok {
+			paths = append(paths, m)
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("store: %s: no segment files", dir)
+	}
+	sort.Strings(paths)
+	for i, p := range paths {
+		if p != SegmentPath(dir, i) {
+			return nil, fmt.Errorf("store: %s: segment files not contiguous (missing %s)", dir, SegmentPath(dir, i))
+		}
+	}
+	return paths, nil
+}
+
+// Inspect scans a store directory without modifying it: manifest and
+// checkpoint state (present, absent, or corrupt) plus, per segment, the
+// length of the decodable checksum-valid record prefix. It only fails when
+// the directory holds no segment files at all.
+func Inspect(dir string) (Inspection, error) {
+	in := Inspection{Dir: dir}
+	paths, err := segmentFiles(dir)
+	if err != nil {
+		return in, err
+	}
+	if man, err := ReadManifest(dir); err == nil {
+		in.HasManifest, in.Manifest = true, man
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		in.ManifestErr = err.Error()
+	}
+	if HasCheckpoint(dir) {
+		if ck, err := ReadCheckpoint(dir); err == nil {
+			in.HasCheckpoint, in.Checkpoint = true, ck
+		} else {
+			in.CheckpointErr = err.Error()
+		}
+	}
+	for i, path := range paths {
+		info := SegmentInfo{Index: i, Path: path}
+		if fi, err := os.Stat(path); err == nil {
+			info.SizeBytes = fi.Size()
+		}
+		scanErr := forEachFile(path, true, func(Observation) error {
+			info.Records++
+			return nil
+		})
+		if scanErr != nil {
+			info.Truncated = true
+			info.Err = scanErr.Error()
+		}
+		in.TotalRecords += info.Records
+		in.Segments = append(in.Segments, info)
+	}
+	return in, nil
+}
+
+// Verify is the integrity mode ReadManifest alone does not provide: beyond
+// the manifest's shape it replays every segment, checksum-verifying each
+// record, and cross-checks the actual decodable record counts against the
+// counts the manifest declares. A lying manifest — declared counts that do
+// not match the data — fails here even though ReadManifest accepts it.
+func Verify(dir string) (Inspection, error) {
+	in, err := Inspect(dir)
+	if err != nil {
+		return in, err
+	}
+	if !in.HasManifest {
+		if in.ManifestErr != "" {
+			return in, fmt.Errorf("store: %s: %s", dir, in.ManifestErr)
+		}
+		return in, fmt.Errorf("store: %s: no manifest — incomplete archive (crashed run?); run salvage", dir)
+	}
+	if in.Manifest.Segments != len(in.Segments) {
+		return in, fmt.Errorf("store: %s: manifest declares %d segments, %d on disk",
+			dir, in.Manifest.Segments, len(in.Segments))
+	}
+	for _, seg := range in.Segments {
+		if seg.Truncated {
+			return in, fmt.Errorf("store: %s: %s", filepath.Base(seg.Path), seg.Err)
+		}
+		if want := in.Manifest.Counts[seg.Index]; seg.Records != want {
+			return in, fmt.Errorf("store: %s: manifest declares %d records, segment holds %d",
+				filepath.Base(seg.Path), want, seg.Records)
+		}
+	}
+	if in.HasCheckpoint && in.Checkpoint.Segments != in.Manifest.Segments {
+		return in, fmt.Errorf("store: %s: checkpoint covers %d segments, manifest %d",
+			dir, in.Checkpoint.Segments, in.Manifest.Segments)
+	}
+	return in, nil
+}
+
+// SalvageResult reports what Salvage did.
+type SalvageResult struct {
+	Segments int
+	Counts   []int
+	Total    int
+	// Intact means the archive verified clean and nothing was touched.
+	Intact bool
+	// FromCheckpoint means segments were truncated to the checkpoint's
+	// committed offsets; otherwise torn segments were rewritten to their
+	// longest valid record prefix.
+	FromCheckpoint bool
+	// TornSegments counts segments that actually lost a tail.
+	TornSegments int
+	// DroppedBytes totals the torn tail bytes amputated (checkpoint path).
+	DroppedBytes int64
+}
+
+// Salvage repairs a crashed, torn, or manifest-less store directory in
+// place and rewrites a manifest marked salvaged, making the archive
+// readable again. See the package comment above for the authority order
+// (intact manifest > checkpoint > prefix scan). Salvaging never loses
+// committed data: a checkpointed store that cannot be restored to its
+// committed state errors out rather than degrading silently.
+func Salvage(dir string) (SalvageResult, error) {
+	return salvageOn(osFS{}, dir)
+}
+
+func salvageOn(fsys FS, dir string) (SalvageResult, error) {
+	if _, err := Verify(dir); err == nil {
+		man, _ := ReadManifest(dir)
+		return SalvageResult{Segments: man.Segments, Counts: man.Counts,
+			Total: man.Total, Intact: true}, nil
+	}
+	if HasCheckpoint(dir) {
+		ck, err := ReadCheckpoint(dir)
+		if err == nil {
+			return salvageFromCheckpoint(fsys, dir, ck)
+		}
+		// A corrupt journal falls through to the scan: the atomic
+		// checkpoint commit makes this near-impossible, but a scan still
+		// recovers the data.
+	}
+	return salvageByScan(fsys, dir)
+}
+
+// salvageFromCheckpoint truncates every segment to its committed offset
+// and re-verifies the committed record counts by checksum replay.
+func salvageFromCheckpoint(fsys FS, dir string, ck Checkpoint) (SalvageResult, error) {
+	res := SalvageResult{Segments: ck.Segments, Counts: ck.Counts, Total: ck.Total, FromCheckpoint: true}
+	for i := 0; i < ck.Segments; i++ {
+		path := SegmentPath(dir, i)
+		f, err := fsys.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			return res, fmt.Errorf("store: %w", err)
+		}
+		size, err := f.Seek(0, io.SeekEnd)
+		if err == nil && size < ck.Offsets[i] {
+			err = fmt.Errorf("%d bytes on disk, checkpoint committed %d — committed weeks are missing",
+				size, ck.Offsets[i])
+		}
+		if err == nil && size > ck.Offsets[i] {
+			res.TornSegments++
+			res.DroppedBytes += size - ck.Offsets[i]
+			if err = f.Truncate(ck.Offsets[i]); err == nil {
+				err = f.Sync()
+			}
+		}
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			return res, fmt.Errorf("store: %s: %w", path, err)
+		}
+		// Cross-check: the committed prefix must decode to exactly the
+		// committed record count; anything else means corruption inside
+		// committed data, which salvage must refuse to paper over.
+		n := 0
+		if err := forEachFile(path, true, func(Observation) error { n++; return nil }); err != nil {
+			return res, fmt.Errorf("store: committed prefix corrupt: %w", err)
+		}
+		if n != ck.Counts[i] {
+			return res, fmt.Errorf("store: %s: checkpoint committed %d records, prefix decodes %d",
+				path, ck.Counts[i], n)
+		}
+	}
+	if err := writeSalvagedManifest(fsys, dir, ck.Segments, ck.Counts); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// errSalvageWrite tags failures of the salvage rewrite itself, so they are
+// never mistaken for the torn-tail decode errors salvage exists to absorb.
+var errSalvageWrite = errors.New("store: salvage rewrite failed")
+
+// salvageByScan rewrites each segment to its longest valid record prefix.
+func salvageByScan(fsys FS, dir string) (SalvageResult, error) {
+	paths, err := segmentFiles(dir)
+	if err != nil {
+		return SalvageResult{}, err
+	}
+	res := SalvageResult{Segments: len(paths), Counts: make([]int, len(paths))}
+	for i, path := range paths {
+		tmp := path + ".salvage"
+		nw, err := createFile(fsys, tmp, true)
+		if err != nil {
+			return res, fmt.Errorf("store: %w", err)
+		}
+		kept := 0
+		scanErr := forEachFile(path, false, func(o Observation) error {
+			if err := nw.Write(o); err != nil {
+				return fmt.Errorf("%w: %s: %v", errSalvageWrite, tmp, err)
+			}
+			kept++
+			return nil
+		})
+		if scanErr != nil {
+			if errors.Is(scanErr, errSalvageWrite) {
+				_ = nw.abort()
+				_ = fsys.Remove(tmp)
+				return res, scanErr
+			}
+			res.TornSegments++ // decode stopped at the torn tail; amputated
+		}
+		if _, err := nw.commit(); err != nil {
+			_ = nw.abort()
+			_ = fsys.Remove(tmp)
+			return res, fmt.Errorf("store: %s: %w", tmp, err)
+		}
+		if err := nw.Close(); err != nil {
+			_ = fsys.Remove(tmp)
+			return res, fmt.Errorf("store: %s: %w", tmp, err)
+		}
+		if err := fsys.Rename(tmp, path); err != nil {
+			_ = fsys.Remove(tmp)
+			return res, fmt.Errorf("store: %w", err)
+		}
+		if err := fsys.SyncDir(dir); err != nil {
+			return res, fmt.Errorf("store: %s: %w", dir, err)
+		}
+		res.Counts[i] = kept
+		res.Total += kept
+	}
+	if err := writeSalvagedManifest(fsys, dir, res.Segments, res.Counts); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+func writeSalvagedManifest(fsys FS, dir string, segments int, counts []int) error {
+	man := Manifest{
+		Version:   ManifestVersionFramed,
+		Segments:  segments,
+		Partition: PartitionFNV1aDomain,
+		Counts:    counts,
+		Salvaged:  true,
+	}
+	for _, c := range counts {
+		man.Total += c
+	}
+	return writeManifest(fsys, dir, man)
+}

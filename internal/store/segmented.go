@@ -30,6 +30,16 @@ const ManifestName = "manifest.json"
 // uses; readers refuse manifests declaring anything else.
 const PartitionFNV1aDomain = "fnv1a-domain"
 
+// Manifest versions. Version 1 segments are plain gzip JSONL; version 2
+// segments frame every record with a length + FNV-1a checksum header (see
+// Writer) and may span multiple gzip members (one per committed week).
+// Readers sniff the encoding per stream, so both versions read through the
+// same entry points.
+const (
+	ManifestVersionPlain  = 1
+	ManifestVersionFramed = 2
+)
+
 // Manifest describes a segmented store directory.
 type Manifest struct {
 	Version   int    `json:"version"`
@@ -38,6 +48,9 @@ type Manifest struct {
 	// Counts holds per-segment observation counts; Total their sum.
 	Counts []int `json:"counts"`
 	Total  int   `json:"total"`
+	// Salvaged marks a manifest rebuilt by Salvage from a crashed or torn
+	// store rather than written by a clean Close.
+	Salvaged bool `json:"salvaged,omitempty"`
 }
 
 // ShardOf assigns a domain to one of n partitions by FNV-1a hash — the
@@ -73,8 +86,30 @@ func SegmentPath(dir string, i int) string {
 // collection shards) proceed in parallel without a global mutex.
 type SegmentedWriter struct {
 	dir  string
+	fsys FS
+	opt  SegmentedOptions
 	segs []*Writer
 	mus  []sync.Mutex
+	// committedWeeks mirrors the last checkpoint written (checkpointed
+	// writers only).
+	committedWeeks int
+}
+
+// SegmentedOptions parameterizes the durability behavior of a segmented
+// writer.
+type SegmentedOptions struct {
+	// Checkpoint enables the week-granular crash-safety journal: every
+	// CommitWeek flushes, finishes, and fsyncs each segment's gzip member
+	// and atomically commits checkpoint.json, so a crash loses at most
+	// the week in flight (see ResumeSegmented).
+	Checkpoint bool
+	// Run is the identity stamped into the journal; ResumeSegmented
+	// refuses a checkpoint stamped by a different run.
+	Run RunID
+	// FS overrides the filesystem the durable write path goes through
+	// (nil = the real one); the fault-injection tests substitute one that
+	// fails chosen operations.
+	FS FS
 }
 
 // CreateSegmented creates a segmented store directory with n segment
@@ -82,20 +117,28 @@ type SegmentedWriter struct {
 // manifest is written on Close; a directory without one is unreadable,
 // so a crashed writer never masquerades as a complete archive.
 func CreateSegmented(dir string, n int) (*SegmentedWriter, error) {
+	return CreateSegmentedWith(dir, n, SegmentedOptions{})
+}
+
+// CreateSegmentedWith is CreateSegmented with explicit durability options.
+// Any residue of a previous run in dir — stale manifest, stale checkpoint,
+// orphan segment or temp files a crashed run left behind — is removed
+// first, so a new archive can never silently mix with old partial data.
+func CreateSegmentedWith(dir string, n int, opt SegmentedOptions) (*SegmentedWriter, error) {
 	if n < 1 {
 		n = 1
 	}
+	fsys := realFS(opt.FS)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	// Remove a stale manifest first: until Close rewrites it, the
-	// directory must read as incomplete.
-	if err := os.Remove(filepath.Join(dir, ManifestName)); err != nil && !os.IsNotExist(err) {
-		return nil, fmt.Errorf("store: %w", err)
+	if err := cleanStaleRun(fsys, dir, n); err != nil {
+		return nil, err
 	}
-	w := &SegmentedWriter{dir: dir, segs: make([]*Writer, n), mus: make([]sync.Mutex, n)}
+	w := &SegmentedWriter{dir: dir, fsys: fsys, opt: opt,
+		segs: make([]*Writer, n), mus: make([]sync.Mutex, n)}
 	for i := range w.segs {
-		seg, err := Create(SegmentPath(dir, i))
+		seg, err := createFile(fsys, SegmentPath(dir, i), true)
 		if err != nil {
 			for j := 0; j < i; j++ {
 				_ = w.segs[j].Close()
@@ -105,6 +148,51 @@ func CreateSegmented(dir string, n int) (*SegmentedWriter, error) {
 		w.segs[i] = seg
 	}
 	return w, nil
+}
+
+// cleanStaleRun clears everything a previous run may have left in dir that
+// the new n-segment layout does not own: the manifest (until Close
+// rewrites it, the directory must read as incomplete), the checkpoint
+// journal, atomic-write temp files, and orphan seg-*.jsonl.gz files with
+// indices >= n — a crashed wider run's partials that a narrower recreate
+// would otherwise leave lying around for Salvage or a human to mistake
+// for live data.
+func cleanStaleRun(fsys FS, dir string, n int) error {
+	for _, name := range []string{
+		ManifestName, ManifestName + ".tmp",
+		CheckpointName, CheckpointName + ".tmp",
+	} {
+		if err := fsys.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	stale, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl.gz*"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, path := range stale {
+		if idx, ok := segmentIndex(dir, path); ok && idx < n {
+			continue // owned by the new layout; createFile truncates it
+		}
+		if err := fsys.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return nil
+}
+
+// segmentIndex parses a segment file's index from its path; ok is false
+// for anything that is not exactly a seg-NNNN.jsonl.gz of dir.
+func segmentIndex(dir, path string) (int, bool) {
+	var idx int
+	name := filepath.Base(path)
+	if _, err := fmt.Sscanf(name, "seg-%04d.jsonl.gz", &idx); err != nil {
+		return 0, false
+	}
+	if path != SegmentPath(dir, idx) {
+		return 0, false // suffixed (e.g. .tmp) or oddly formatted
+	}
+	return idx, true
 }
 
 // Segments returns the segment count.
@@ -129,13 +217,60 @@ func (w *SegmentedWriter) Count() int {
 	return total
 }
 
-// Close flushes and closes every segment, then writes the manifest. The
-// manifest is only written when every segment closed cleanly — a partial
-// archive stays unreadable rather than silently short.
+// CommitWeek makes everything collected through week (0-based) durable:
+// each segment's buffered data is flushed, its open gzip member finished,
+// and the file fsynced; then checkpoint.json is committed atomically. A
+// crash at any point afterwards loses at most the week in flight —
+// ResumeSegmented restores the store to exactly this commit. The caller
+// must quiesce concurrent Writes for the duration (collection loops have a
+// natural per-week barrier).
+func (w *SegmentedWriter) CommitWeek(week int) error {
+	if !w.opt.Checkpoint {
+		return fmt.Errorf("store: %s: CommitWeek on a writer without SegmentedOptions.Checkpoint", w.dir)
+	}
+	if week+1 <= w.committedWeeks {
+		return fmt.Errorf("store: %s: CommitWeek(%d) after %d weeks already committed", w.dir, week, w.committedWeeks)
+	}
+	ck := Checkpoint{
+		Version:        CheckpointVersion,
+		CommittedWeeks: week + 1,
+		Segments:       len(w.segs),
+		Offsets:        make([]int64, len(w.segs)),
+		Counts:         make([]int, len(w.segs)),
+		Run:            w.opt.Run,
+	}
+	for i, seg := range w.segs {
+		w.mus[i].Lock()
+		off, err := seg.commit()
+		count := seg.Count()
+		w.mus[i].Unlock()
+		if err != nil {
+			return fmt.Errorf("store: %s: %w", SegmentPath(w.dir, i), err)
+		}
+		ck.Offsets[i] = off
+		ck.Counts[i] = count
+		ck.Total += count
+	}
+	if err := writeCheckpoint(w.fsys, w.dir, ck); err != nil {
+		return err
+	}
+	w.committedWeeks = week + 1
+	return nil
+}
+
+// CommittedWeeks returns the number of fully committed weeks (0 for a
+// writer without checkpointing or before its first CommitWeek).
+func (w *SegmentedWriter) CommittedWeeks() int { return w.committedWeeks }
+
+// Close flushes, fsyncs, and closes every segment, then commits the
+// manifest atomically (temp file + fsync + rename). The manifest is only
+// written when every segment closed cleanly — a partial archive stays
+// unreadable-as-complete rather than silently short, while its fsynced
+// segments and last checkpoint remain salvageable.
 func (w *SegmentedWriter) Close() error {
 	var first error
 	man := Manifest{
-		Version:   1,
+		Version:   ManifestVersionFramed,
 		Segments:  len(w.segs),
 		Partition: PartitionFNV1aDomain,
 		Counts:    make([]int, len(w.segs)),
@@ -143,6 +278,9 @@ func (w *SegmentedWriter) Close() error {
 	for i, seg := range w.segs {
 		man.Counts[i] = seg.Count()
 		man.Total += seg.Count()
+		if _, err := seg.commit(); err != nil && first == nil {
+			first = err
+		}
 		if err := seg.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -150,14 +288,72 @@ func (w *SegmentedWriter) Close() error {
 	if first != nil {
 		return first
 	}
+	return writeManifest(w.fsys, w.dir, man)
+}
+
+// Abort closes every segment without flushing user-space buffers and
+// without writing a manifest — the deliberate-crash path core takes when a
+// run fails: on-disk state stays exactly what the OS already had
+// (everything through the last CommitWeek plus any incidental tail), and
+// the directory keeps reading as incomplete so nothing mistakes it for a
+// finished archive. The last checkpoint, if any, remains authoritative
+// for Salvage and resume.
+func (w *SegmentedWriter) Abort() error {
+	var first error
+	for _, seg := range w.segs {
+		if err := seg.abort(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// writeManifest commits a manifest atomically.
+func writeManifest(fsys FS, dir string, man Manifest) error {
 	data, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(w.dir, ManifestName), append(data, '\n'), 0o644); err != nil {
-		return fmt.Errorf("store: %w", err)
+	return atomicWriteFile(fsys, filepath.Join(dir, ManifestName), append(data, '\n'))
+}
+
+// ResumeSegmented reopens a checkpointed segmented store for writing at
+// its last committed week. Every segment is truncated back to its
+// committed byte offset — amputating whatever torn tail the crash left —
+// and the writer continues appending from there; the returned checkpoint
+// tells the caller which week to restart collection at (and carries the
+// committed per-segment record counts for verification by replay). A
+// manifest left by a completed run is removed: while the writer is open
+// the directory must read as incomplete. opt.Run, when non-zero, must
+// match the checkpoint's run identity.
+func ResumeSegmented(dir string, opt SegmentedOptions) (*SegmentedWriter, Checkpoint, error) {
+	opt.Checkpoint = true
+	fsys := realFS(opt.FS)
+	ck, err := ReadCheckpoint(dir)
+	if err != nil {
+		return nil, Checkpoint{}, err
 	}
-	return nil
+	if opt.Run != (RunID{}) && ck.Run != opt.Run {
+		return nil, Checkpoint{}, fmt.Errorf("store: %s: checkpoint belongs to a different run (have %+v, want %+v)",
+			dir, ck.Run, opt.Run)
+	}
+	if err := fsys.Remove(filepath.Join(dir, ManifestName)); err != nil && !os.IsNotExist(err) {
+		return nil, Checkpoint{}, fmt.Errorf("store: %w", err)
+	}
+	w := &SegmentedWriter{dir: dir, fsys: fsys, opt: opt,
+		segs: make([]*Writer, ck.Segments), mus: make([]sync.Mutex, ck.Segments),
+		committedWeeks: ck.CommittedWeeks}
+	for i := range w.segs {
+		seg, err := resumeFile(fsys, SegmentPath(dir, i), ck.Offsets[i], ck.Counts[i])
+		if err != nil {
+			for j := 0; j < i; j++ {
+				_ = w.segs[j].abort()
+			}
+			return nil, Checkpoint{}, err
+		}
+		w.segs[i] = seg
+	}
+	return w, ck, nil
 }
 
 // IsSegmented reports whether path is a segmented store directory (a
@@ -180,6 +376,9 @@ func ReadManifest(dir string) (Manifest, error) {
 	var man Manifest
 	if err := json.Unmarshal(data, &man); err != nil {
 		return Manifest{}, fmt.Errorf("store: %s: corrupt manifest: %w", dir, err)
+	}
+	if man.Version != ManifestVersionPlain && man.Version != ManifestVersionFramed {
+		return Manifest{}, fmt.Errorf("store: %s: manifest version %d not supported", dir, man.Version)
 	}
 	if man.Segments < 1 || man.Segments != len(man.Counts) {
 		return Manifest{}, fmt.Errorf("store: %s: manifest inconsistent (%d segments, %d counts)",

@@ -307,6 +307,55 @@ func TestSegmentedAbortPropagates(t *testing.T) {
 	}
 }
 
+// TestSegmentedRecreateCleansStaleRun (satellite S1): recreating a store
+// with fewer segments over a crashed wider run must remove the orphan
+// partial segments and the stale checkpoint — not leave them to silently
+// mix with (or be salvaged alongside) the new archive.
+func TestSegmentedRecreateCleansStaleRun(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	old := genObs(20, 2)
+	w, err := CreateSegmentedWith(dir, 4, SegmentedOptions{Checkpoint: true,
+		Run: RunID{Seed: 1, Domains: 20, Weeks: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range old {
+		if o.Week == 0 {
+			if err := w.Write(o); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.CommitWeek(0); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Abort() // crash: 4 partial segments + checkpoint.json left behind
+
+	fresh := genObs(6, 1)
+	writeSegmented(t, dir, fresh, 2)
+	for _, name := range []string{"seg-0002.jsonl.gz", "seg-0003.jsonl.gz", CheckpointName} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Errorf("stale %s survived recreate", name)
+		}
+	}
+	n := 0
+	if err := ForEach(dir, func(Observation) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(fresh) {
+		t.Errorf("recreated store holds %d observations, want %d", n, len(fresh))
+	}
+	// Salvage must also see a clean store — nothing of the old run to
+	// resurrect.
+	res, err := Salvage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Intact || res.Total != len(fresh) {
+		t.Errorf("salvage after recreate: %+v", res)
+	}
+}
+
 // TestSegmentedRecreateTruncates: recreating a store over an existing
 // directory must not leak the old archive's contents.
 func TestSegmentedRecreateTruncates(t *testing.T) {

@@ -1,5 +1,6 @@
 #!/bin/sh
-# Store/fingerprint perf ablations: runs BenchmarkStoreReadSegments and
+# Store/fingerprint perf ablations: runs BenchmarkStoreReadSegments,
+# BenchmarkStoreWrite (the framing + per-week fsync durability tax), and
 # BenchmarkFingerprintMemo with -benchmem and appends one JSON line per
 # benchmark result to BENCH_store.json, so perf PRs accumulate a
 # machine-readable before/after record. Override the measurement budget
@@ -11,7 +12,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_store.json}"
 
-raw=$(go test -run '^$' -bench 'BenchmarkStoreReadSegments|BenchmarkFingerprintMemo' \
+raw=$(go test -run '^$' -bench 'BenchmarkStoreReadSegments|BenchmarkStoreWrite|BenchmarkFingerprintMemo' \
 	-benchmem -benchtime "$BENCHTIME" .)
 printf '%s\n' "$raw"
 

@@ -28,8 +28,8 @@ go test -run '^$' -fuzz '^FuzzAuditHandler$' -fuzztime "$FUZZTIME" ./internal/se
 # not a measurement, just proof the benchmarks still build, run, and verify
 # their own observation counts (BenchmarkServeAudit additionally reconciles
 # the service's /metrics counters against the load it generated).
-echo "==> bench smoke (store read + fingerprint memo + serve audit, 1 iteration)"
-go test -run '^$' -bench 'BenchmarkStoreReadSegments|BenchmarkFingerprintMemo|BenchmarkServeAudit' \
+echo "==> bench smoke (store read/write + fingerprint memo + serve audit, 1 iteration)"
+go test -run '^$' -bench 'BenchmarkStoreReadSegments|BenchmarkStoreWrite|BenchmarkFingerprintMemo|BenchmarkServeAudit' \
 	-benchmem -benchtime 1x .
 
 # Chaos-crawl smoke: an end-to-end cmd/crawl run with fault injection and
@@ -40,6 +40,57 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 go run ./cmd/crawl -domains 40 -weeks 3 -chaos 0.3 -politeness \
 	-out "$tmp/chaos.jsonl.gz" >/dev/null
+
+# Crash-recovery smoke: SIGKILL a checkpointed crawl mid-run, fsck the
+# wreckage, resume, and prove the final report is byte-identical to an
+# uninterrupted run of the same configuration. This is the end-to-end
+# version of the crash-equivalence tests: a real process killed with a
+# real signal, recovered by the real commands.
+echo "==> crash-recovery smoke (SIGKILL mid-crawl, fsck, resume, diff reports)"
+go build -o "$tmp/crawl" ./cmd/crawl
+go build -o "$tmp/fsck" ./cmd/fsck
+go build -o "$tmp/analyze" ./cmd/analyze
+CRAWL_ARGS="-domains 80 -weeks 60 -seed 3 -workers 16 -segments 2 -checkpoint"
+
+# Uninterrupted reference.
+"$tmp/crawl" $CRAWL_ARGS -out "$tmp/ref.store" 2>/dev/null >/dev/null
+"$tmp/analyze" -in "$tmp/ref.store" -weeks 60 -domains 80 >"$tmp/ref.report"
+
+# The victim: same run, killed with SIGKILL once at least two weeks have
+# committed.
+"$tmp/crawl" $CRAWL_ARGS -out "$tmp/crash.store" 2>"$tmp/crash.log" >/dev/null &
+crawl_pid=$!
+killed=""
+for _ in $(seq 1 600); do
+	if ! kill -0 "$crawl_pid" 2>/dev/null; then
+		break # finished before we could kill it
+	fi
+	n=$(grep -c 'committed' "$tmp/crash.log" 2>/dev/null) || n=0
+	if [ "${n:-0}" -ge 2 ]; then
+		kill -KILL "$crawl_pid"
+		killed=yes
+		break
+	fi
+	sleep 0.02
+done
+wait "$crawl_pid" 2>/dev/null || true
+[ -n "$killed" ] || { echo "crawl finished before SIGKILL could land; smoke inconclusive"; exit 1; }
+
+# The kill left no manifest: verification must fail, repair must restore
+# the store to its last checkpoint, and verification must then pass.
+if "$tmp/fsck" -store "$tmp/crash.store" >/dev/null 2>&1; then
+	echo "fsck verified a crashed store as intact"; exit 1
+fi
+"$tmp/fsck" -store "$tmp/crash.store" -stats
+"$tmp/fsck" -store "$tmp/crash.store" -repair
+"$tmp/fsck" -store "$tmp/crash.store"
+
+# Resume, then prove the recovered run equals the uninterrupted one.
+"$tmp/crawl" $CRAWL_ARGS -resume -out "$tmp/crash.store" 2>/dev/null >/dev/null
+"$tmp/fsck" -store "$tmp/crash.store"
+"$tmp/analyze" -in "$tmp/crash.store" -weeks 60 -domains 80 >"$tmp/crash.report"
+cmp "$tmp/ref.report" "$tmp/crash.report" || {
+	echo "resumed run's report differs from the uninterrupted reference"; exit 1; }
 
 # Serve smoke: start the audit service on an ephemeral port, hit /healthz
 # and run one audit, then prove SIGTERM performs a clean graceful stop.
