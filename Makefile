@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-store bench-crawl bench-serve check fuzz-smoke
+.PHONY: build test race bench bench-store bench-crawl bench-serve bench-fingerprint check fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,13 @@ bench-crawl:
 bench-serve:
 	BENCHTIME=$(BENCHTIME) sh scripts/bench_serve.sh
 
+# bench-fingerprint runs the signature-scanner ablations (scan throughput
+# over plain/bundled/minified bodies, cold scan vs scan-cache hit) and
+# appends machine-readable results to BENCH_fingerprint.json (longer
+# measurement: make bench-fingerprint BENCHTIME=2s).
+bench-fingerprint:
+	BENCHTIME=$(BENCHTIME) sh scripts/bench_fingerprint.sh
+
 # check is the full verification gate: vet + build + race tests + short
 # fuzz smoke runs (FUZZTIME=3s by default; override: make check FUZZTIME=30s).
 check:
@@ -42,3 +49,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseVersion$$' -fuzztime 3s ./internal/semver
 	$(GO) test -run '^$$' -fuzz '^FuzzRange$$' -fuzztime 3s ./internal/semver
 	$(GO) test -run '^$$' -fuzz '^FuzzAuditHandler$$' -fuzztime 3s ./internal/service
+	$(GO) test -run '^$$' -fuzz '^FuzzSignatureScan$$' -fuzztime 3s ./internal/fingerprint

@@ -54,6 +54,16 @@ type Config struct {
 	// default settings. Reports are byte-identical with it on or off; the
 	// layer changes how failures cost, not what gets observed.
 	PoliteCrawl bool
+	// BundleFraction is the fraction of eligible generated sites that ship
+	// their libraries as one bundled script with minified identifiers
+	// (0 disables, preserving the historical population byte-for-byte).
+	// Bundles hide library URLs from the fingerprinter — the blind spot
+	// BundleScan measures and closes.
+	BundleFraction float64
+	// BundleScan makes the crawl path fetch each page's same-site scripts
+	// and scan their content for library signatures, recovering bundled
+	// libraries. Plain pages detect identically with it on or off.
+	BundleScan bool
 	// Shards parallelizes the analysis pipeline across domain-hash
 	// partitions (default 1 = serial). Sharded runs produce byte-identical
 	// reports to serial runs of the same configuration.
@@ -92,9 +102,11 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	}
 	inner, err := core.Run(ctx, core.Config{
 		Domains: cfg.Domains, Weeks: cfg.Weeks, Seed: cfg.Seed,
-		Mode: mode, Workers: cfg.Workers, Shards: cfg.Shards,
+		Bundling:   webgen.DefaultBundling(cfg.BundleFraction),
+		BundleScan: cfg.BundleScan,
+		Mode:       mode, Workers: cfg.Workers, Shards: cfg.Shards,
 		Resilience: crawler.Resilience{Enabled: cfg.PoliteCrawl},
-		StorePath: cfg.StorePath, StoreSegments: cfg.StoreSegments,
+		StorePath:  cfg.StorePath, StoreSegments: cfg.StoreSegments,
 		FingerprintCacheSize: cfg.FingerprintCacheSize,
 		Progress:             cfg.Progress,
 	})

@@ -14,11 +14,13 @@ package main
 import (
 	"bufio"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 
 	"clientres/internal/core"
 	"clientres/internal/prof"
+	"clientres/internal/store"
 	"clientres/internal/webgen"
 )
 
@@ -29,6 +31,7 @@ func main() {
 	shards := flag.Int("shards", 1, "parallel analysis shards (results identical to -shards 1)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	bundleScan := flag.Bool("bundle-scan", false, "append a bundle-detection summary: how many library detections came from content signatures vs URLs")
 	flag.Parse()
 
 	stopCPU, err := prof.StartCPU(*cpuprofile)
@@ -47,4 +50,47 @@ func main() {
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	res.WriteReport(w)
+	if *bundleScan {
+		if err := writeBundleSummary(w, *in); err != nil {
+			log.Fatalf("analyze: %v", err)
+		}
+	}
+}
+
+// writeBundleSummary streams the store a second time and reports how many
+// library detections were recovered from script content (bundles) rather
+// than from <script src> URLs — the measured reach of -bundle-scan.
+func writeBundleSummary(w *bufio.Writer, path string) error {
+	var pages, sigPages, libs, sigLibs int
+	count := func(obs store.Observation) error {
+		if !obs.OK() {
+			return nil
+		}
+		pages++
+		viaSig := false
+		for _, l := range obs.Libs {
+			libs++
+			if l.Sig {
+				sigLibs++
+				viaSig = true
+			}
+		}
+		if viaSig {
+			sigPages++
+		}
+		return nil
+	}
+	var err error
+	if store.IsSegmented(path) {
+		err = store.ForEachSegmented(path, count)
+	} else {
+		err = store.ForEach(path, count)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nBundle-scan summary\n")
+	fmt.Fprintf(w, "  pages with >=1 signature-recovered library: %d / %d usable pages\n", sigPages, pages)
+	fmt.Fprintf(w, "  signature-recovered library detections:     %d / %d detections\n", sigLibs, libs)
+	return nil
 }

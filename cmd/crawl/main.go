@@ -49,6 +49,8 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault schedule seed (with -chaos)")
 	checkpoint := flag.Bool("checkpoint", false, "commit a crash-safety journal after every completed week (forces the segmented store layout; reports are identical either way)")
 	resume := flag.Bool("resume", false, "resume a crashed -checkpoint run from its journal: verify and replay the committed weeks, then continue at the first incomplete week (implies -checkpoint)")
+	bundleFrac := flag.Float64("bundle-frac", 0, "fraction of eligible generated sites that ship their libraries as one bundled script (0 disables; bundles hide library URLs from the fingerprinter)")
+	bundleScan := flag.Bool("bundle-scan", false, "fetch each page's same-site scripts and scan their content for library signatures (recovers bundled libraries; plain pages detect identically either way)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -61,7 +63,9 @@ func main() {
 
 	cfg := core.Config{
 		Domains: *domains, Weeks: *weeks, Seed: *seed,
-		Mode: core.ModeCrawl, Workers: *workers, Shards: *shards,
+		Bundling:   webgen.DefaultBundling(*bundleFrac),
+		BundleScan: *bundleScan,
+		Mode:       core.ModeCrawl, Workers: *workers, Shards: *shards,
 		StorePath: *out, StoreSegments: *segments,
 		FingerprintCacheSize: *fpcache,
 		Resilience: crawler.Resilience{

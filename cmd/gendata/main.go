@@ -25,11 +25,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	out := flag.String("out", "observations.jsonl.gz", "output path (gzip JSONL file, or a directory with -segments > 1)")
 	segments := flag.Int("segments", 1, "store segments; >1 writes a segmented store directory (reads identical to a single file)")
+	bundleFrac := flag.Float64("bundle-frac", 0, "fraction of eligible generated sites that ship their libraries as one bundled script (0 disables)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
 
 	cfg := core.Config{
 		Domains: *domains, Weeks: *weeks, Seed: *seed,
+		Bundling:  webgen.DefaultBundling(*bundleFrac),
 		StorePath: *out, StoreSegments: *segments, SkipPoC: true,
 	}
 	if !*quiet {

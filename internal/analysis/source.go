@@ -27,6 +27,7 @@ func ObservationFromCrawl(dom alexa.Domain, week, status int, body string, det f
 			Slug: hit.Slug, Known: hit.Known,
 			External: hit.External, Host: hit.Host,
 			SRI: hit.SRI, Crossorigin: hit.Crossorigin,
+			Sig: hit.ViaSignature,
 		}
 		if !hit.Version.IsZero() {
 			rec.Version = hit.Version.String()
@@ -80,6 +81,10 @@ func ObservationFromTruth(dom alexa.Domain, t webgen.PageTruth) store.Observatio
 			Slug: lib.Slug, Known: true,
 			External: lib.External, Host: lib.Host,
 			SRI: lib.SRI, Crossorigin: lib.Crossorigin,
+			// Bundled libraries reach the crawl path only through the
+			// content-signature scanner, so the truth path marks them the
+			// same way.
+			Sig: t.Bundled,
 		}
 		// Version-control-hosted URLs carry no version; the truth path is
 		// deliberately version-blind there too, so direct and crawl

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"clientres/internal/store"
+	"clientres/internal/webgen"
+)
+
+// bundledCfg is the equivalence-friendly bundler configuration: banners
+// always survive, so every top-15 library — including the banner-only ones —
+// is recoverable from bundle content and the crawl path can match ground
+// truth exactly. (Banner-stripping configurations diverge by design: that
+// gap is the accuracy harness's subject, not an equivalence bug.)
+func bundledCfg() Config {
+	return Config{
+		Domains: 180, Weeks: 10, Seed: 8, SkipPoC: true,
+		Bundling: webgen.Bundling{Fraction: 0.6, MinifyP: 0.5, BannerP: 1, SourceMapP: 0.3},
+	}
+}
+
+// TestCrawlDirectEquivalenceBundled extends the pipeline-equivalence
+// property to bundled populations: a real crawl with BundleScan — fetching
+// script bodies over HTTP and scanning them for signatures — must aggregate
+// identically to direct ground-truth collection.
+func TestCrawlDirectEquivalenceBundled(t *testing.T) {
+	cfg := bundledCfg()
+	direct, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mode = ModeCrawl
+	cfg.Workers = 32
+	cfg.BundleScan = true
+	crawled, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(direct.Coll.CollectedSeries(), crawled.Coll.CollectedSeries()) {
+		t.Errorf("collected series differ:\n direct %v\n crawled %v",
+			direct.Coll.CollectedSeries(), crawled.Coll.CollectedSeries())
+	}
+	if !reflect.DeepEqual(direct.Libs.Table1(), crawled.Libs.Table1()) {
+		t.Error("Table 1 differs between bundled crawl and direct collection")
+	}
+	for _, useTVV := range []bool{false, true} {
+		d := direct.Vuln.MeanVulnerableShare(useTVV)
+		c := crawled.Vuln.MeanVulnerableShare(useTVV)
+		if d != c {
+			t.Errorf("vulnerable share (tvv=%v): direct %.6f crawled %.6f", useTVV, d, c)
+		}
+	}
+	if direct.SRI.MissingSRIShare() != crawled.SRI.MissingSRIShare() {
+		t.Error("SRI share differs")
+	}
+	dDelay := direct.Delay.Result(false, false)
+	cDelay := crawled.Delay.Result(false, false)
+	if dDelay.Updated != cDelay.Updated || dDelay.MeanDays != cDelay.MeanDays {
+		t.Errorf("delay results differ: direct %+v crawled %+v", dDelay, cDelay)
+	}
+}
+
+// TestBundledCrawlWithoutScanMissesVersions is the blind spot end-to-end:
+// the same bundled crawl WITHOUT BundleScan must close strictly fewer
+// update windows than direct truth — bundles hide the versions the delay
+// analysis needs — while the BundleScan run above matches it exactly.
+func TestBundledCrawlWithoutScanMissesVersions(t *testing.T) {
+	cfg := bundledCfg()
+	direct, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mode = ModeCrawl
+	cfg.Workers = 32
+	blind, err := Run(context.Background(), cfg) // BundleScan off
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := direct.Delay.Result(false, false)
+	b := blind.Delay.Result(false, false)
+	if b.Updated >= d.Updated {
+		t.Errorf("URL-only crawl closed %d update windows, direct truth %d — bundles should hide versions",
+			b.Updated, d.Updated)
+	}
+}
+
+// TestBundledCrawlPersistsAndReplays: store-replay of a bundled BundleScan
+// crawl reproduces the live aggregates, and the Sig provenance flag
+// round-trips through the store.
+func TestBundledCrawlPersistsAndReplays(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bundled.jsonl.gz")
+	cfg := bundledCfg()
+	cfg.Mode = ModeCrawl
+	cfg.Workers = 32
+	cfg.BundleScan = true
+	cfg.StorePath = path
+	live, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigRecs, urlRecs := 0, 0
+	if err := store.ForEach(path, func(obs store.Observation) error {
+		for _, l := range obs.Libs {
+			if l.Sig {
+				sigRecs++
+			} else {
+				urlRecs++
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sigRecs == 0 {
+		t.Error("no signature-recovered records stored — bundles never scanned?")
+	}
+	if urlRecs == 0 {
+		t.Error("no URL-detected records stored")
+	}
+	replayed, err := RunFromStore(path, cfg.Weeks, cfg.Domains, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live.Libs.Table1(), replayed.Libs.Table1()) {
+		t.Error("Table 1 differs after replay")
+	}
+	if live.Vuln.MeanVulnerableShare(true) != replayed.Vuln.MeanVulnerableShare(true) {
+		t.Error("vulnerable share differs after replay")
+	}
+	if !reflect.DeepEqual(live.Delay.Result(false, false), replayed.Delay.Result(false, false)) {
+		t.Error("delay result differs after replay")
+	}
+}

@@ -45,6 +45,17 @@ type Config struct {
 	// Domains, Weeks, Seed parameterize the synthetic population.
 	Domains, Weeks int
 	Seed           int64
+	// Bundling parameterizes the generated population's bundler adoption
+	// (webgen.Bundling; the zero value generates no bundles, preserving
+	// the historical population byte-for-byte).
+	Bundling webgen.Bundling
+	// BundleScan turns on bundle-aware fingerprinting (ModeCrawl): the
+	// crawler additionally fetches each page's same-site scripts and the
+	// fingerprint engine scans their bodies for content signatures,
+	// recovering libraries whose <script> URLs carry no identity (bundles).
+	// On pages whose URLs already tell the whole story the detection is
+	// identical with the scan on or off.
+	BundleScan bool
 	// Mode selects crawl vs direct collection.
 	Mode Mode
 	// Workers bounds crawl concurrency (ModeCrawl).
@@ -228,7 +239,7 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	if cfg.Progress == nil {
 		cfg.Progress = func(string, ...any) {}
 	}
-	eco := webgen.New(webgen.Config{Domains: cfg.Domains, Weeks: cfg.Weeks, Seed: cfg.Seed})
+	eco := webgen.New(webgen.Config{Domains: cfg.Domains, Weeks: cfg.Weeks, Seed: cfg.Seed, Bundling: cfg.Bundling})
 	res := newResults(cfg.Weeks, cfg.Domains)
 	res.Eco = eco
 
@@ -457,7 +468,15 @@ func crawlObservation(byName map[string]alexa.Domain, memo *fingerprint.Memo, p 
 	if p.Err != nil {
 		status = 0
 	} else if status == 200 {
-		det = memo.Page(p.Body, p.Domain)
+		if len(p.Scripts) > 0 {
+			scripts := make([]fingerprint.ScriptBody, len(p.Scripts))
+			for i, s := range p.Scripts {
+				scripts[i] = fingerprint.ScriptBody{URL: s.URL, Body: s.Body}
+			}
+			det = memo.PageWithScripts(p.Body, p.Domain, scripts)
+		} else {
+			det = memo.Page(p.Body, p.Domain)
+		}
 	}
 	return analysis.ObservationFromCrawl(dom, p.Week, status, p.Body, det)
 }
@@ -494,10 +513,11 @@ func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res 
 		workers = 64
 	}
 	cr := crawler.New(crawler.Config{
-		BaseURL:    "http://" + ln.Addr().String(),
-		Workers:    workers,
-		Backoff:    crawler.Backoff{Seed: cfg.Seed},
-		Resilience: cfg.Resilience,
+		BaseURL:      "http://" + ln.Addr().String(),
+		Workers:      workers,
+		Backoff:      crawler.Backoff{Seed: cfg.Seed},
+		Resilience:   cfg.Resilience,
+		FetchScripts: cfg.BundleScan,
 	})
 	defer func() {
 		snap := cr.Metrics()

@@ -15,10 +15,12 @@ import (
 	"math"
 	"net/http"
 	neturl "net/url"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"clientres/internal/htmlx"
 	"clientres/internal/webserver"
 )
 
@@ -48,7 +50,19 @@ type Config struct {
 	// and weekly retry budget. The zero value disables all three, leaving
 	// fetch behavior identical to a crawler without the layer.
 	Resilience Resilience
+	// FetchScripts, when true, additionally fetches every same-site
+	// <script src> of a successfully fetched landing page and attaches the
+	// bodies to Page.Scripts, so bundle-aware fingerprinting can scan
+	// script content. Cross-origin srcs (absolute or protocol-relative
+	// URLs) are skipped: the study crawls landing pages only, and the
+	// synthetic web under test serves same-site assets exclusively.
+	FetchScripts bool
 }
+
+// MaxScriptsPerPage bounds how many same-site scripts one page fetch will
+// follow — a defensive cap against adversarial pages, far above anything
+// the generator emits.
+const MaxScriptsPerPage = 32
 
 // Resilience parameterizes the opt-in per-host resilience layer.
 type Resilience struct {
@@ -111,8 +125,21 @@ type Page struct {
 	Status int
 	// Body is the landing page HTML ("" on failure).
 	Body string
+	// Scripts holds the fetched same-site script bodies, in page order,
+	// when Config.FetchScripts is set. A script that failed to fetch keeps
+	// its URL with an empty Body — the scanner skips empties, so a flaky
+	// asset degrades detection instead of failing the page.
+	Scripts []Script
 	// Err is the connection-level error, if any.
 	Err error
+}
+
+// Script is one fetched same-site script resource.
+type Script struct {
+	// URL is the src attribute exactly as written on the page.
+	URL string
+	// Body is the script content ("" when the fetch failed).
+	Body string
 }
 
 // Crawler fetches landing pages.
@@ -196,9 +223,38 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// Fetch retrieves one domain's landing page for a snapshot week.
+// Fetch retrieves one domain's landing page for a snapshot week, plus its
+// same-site scripts when Config.FetchScripts is set.
 func (c *Crawler) Fetch(ctx context.Context, week int, domain string) Page {
-	return c.fetch(ctx, week, domain, c.cfg.BaseURL+webserver.PageURL(week, domain))
+	page := c.fetch(ctx, week, domain, c.cfg.BaseURL+webserver.PageURL(week, domain))
+	if c.cfg.FetchScripts && page.Err == nil && page.Status == http.StatusOK {
+		page.Scripts = c.fetchScripts(ctx, week, domain, page.Body)
+	}
+	return page
+}
+
+// fetchScripts retrieves the same-site script resources referenced by a
+// landing page, through the same resilient fetch path as the page itself
+// (same backoff schedule, politeness gate, and breaker circuit — all keyed
+// by the domain). Cross-origin srcs are skipped, failed fetches keep their
+// URL with an empty body.
+func (c *Crawler) fetchScripts(ctx context.Context, week int, domain, html string) []Script {
+	var out []Script
+	for _, src := range htmlx.ScriptSrcs(html) {
+		if strings.HasPrefix(src, "//") || strings.Contains(src, "://") {
+			continue // cross-origin: landing-page study fetches same-site only
+		}
+		if len(out) >= MaxScriptsPerPage {
+			break
+		}
+		sp := c.fetch(ctx, week, domain, c.cfg.BaseURL+webserver.AssetURL(week, domain, src))
+		body := ""
+		if sp.Err == nil && sp.Status == http.StatusOK {
+			body = sp.Body
+		}
+		out = append(out, Script{URL: src, Body: body})
+	}
+	return out
 }
 
 // FetchURL retrieves an arbitrary http(s) URL through the same resilient

@@ -1,0 +1,241 @@
+package fingerprint
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"clientres/internal/cdn"
+	"clientres/internal/htmlx"
+	"clientres/internal/webgen"
+)
+
+// The detection-accuracy harness: render the synthetic web in four bundler
+// modes, fingerprint every accessible page exactly the way the crawl path
+// does (URL detection + same-site script-body scanning), and score the
+// result against generator ground truth. This measures the bundling blind
+// spot — URL-only detection collapses on bundled pages — and proves the
+// signature scanner closes it for every library that carries a code-level
+// discriminator.
+//
+// Ground truth per page is the (slug, version) set of t.Libs, minus
+// version-control-hosted inclusions (both detection paths are deliberately
+// version-blind there, mirroring the paper's methodology).
+
+type accuracyMode struct {
+	name     string
+	bundling webgen.Bundling
+}
+
+var accuracyModes = []accuracyMode{
+	{"plain", webgen.Bundling{}},
+	{"bundled", webgen.Bundling{Fraction: 1, MinifyP: 0, BannerP: 1, SourceMapP: 0}},
+	{"bundled+minified", webgen.Bundling{Fraction: 1, MinifyP: 1, BannerP: 0, SourceMapP: 0}},
+	{"bundled+sourcemap", webgen.Bundling{Fraction: 1, MinifyP: 1, BannerP: 1, SourceMapP: 1}},
+}
+
+type accuracyScore struct {
+	pages, bundledPages            int
+	truthPairs, truthCode          int
+	hitPairs, hitCode              int
+	detected, falsePositive        int
+	urlTruthBundled, urlHitBundled int
+}
+
+func (sc accuracyScore) recall() float64 {
+	if sc.truthPairs == 0 {
+		return 1
+	}
+	return float64(sc.hitPairs) / float64(sc.truthPairs)
+}
+
+func (sc accuracyScore) recallCode() float64 {
+	if sc.truthCode == 0 {
+		return 1
+	}
+	return float64(sc.hitCode) / float64(sc.truthCode)
+}
+
+func (sc accuracyScore) precision() float64 {
+	if sc.detected == 0 {
+		return 1
+	}
+	return float64(sc.detected-sc.falsePositive) / float64(sc.detected)
+}
+
+func (sc accuracyScore) urlRecallBundled() float64 {
+	if sc.urlTruthBundled == 0 {
+		return 1
+	}
+	return float64(sc.urlHitBundled) / float64(sc.urlTruthBundled)
+}
+
+// sameSiteScripts fetches a rendered page's same-site script bodies through
+// AssetJS — the offline equivalent of the crawler's script fetching.
+func sameSiteScripts(e *webgen.Ecosystem, i, week int, html string) []ScriptBody {
+	var out []ScriptBody
+	for _, src := range htmlx.ScriptSrcs(html) {
+		if strings.HasPrefix(src, "//") || strings.Contains(src, "://") {
+			continue
+		}
+		body, _ := e.AssetJS(i, week, src)
+		out = append(out, ScriptBody{URL: src, Body: body})
+	}
+	return out
+}
+
+func scoreMode(t *testing.T, mode accuracyMode) accuracyScore {
+	t.Helper()
+	e := webgen.New(webgen.Config{Domains: 300, Weeks: 8, Seed: 77, Bundling: mode.bundling})
+	var sc accuracyScore
+	for i := range e.Sites {
+		host := e.Sites[i].Domain.Name
+		for _, w := range []int{0, 4, 7} {
+			tr := e.Truth(i, w)
+			html, status := e.PageHTML(i, w)
+			if status != 200 || !tr.Accessible || tr.EmptyPage {
+				continue
+			}
+			sc.pages++
+			truth := map[string]string{}
+			for _, lib := range tr.Libs {
+				if lib.External && cdn.IsVersionControl(lib.Host) {
+					continue // version-blind by design in both paths
+				}
+				truth[lib.Slug] = lib.Version.String()
+			}
+
+			det := PageWithScripts(html, host, sameSiteScripts(e, i, w, html))
+			got := map[string]string{}
+			for _, hit := range det.Libraries {
+				if !hit.Known || hit.Version.IsZero() {
+					continue
+				}
+				got[hit.Slug] = hit.Version.String()
+			}
+			for slug, ver := range truth {
+				sc.truthPairs++
+				hit := got[slug] == ver
+				if hit {
+					sc.hitPairs++
+				}
+				if HasCodeSignature(slug) {
+					sc.truthCode++
+					if hit {
+						sc.hitCode++
+					}
+				}
+			}
+			for slug, ver := range got {
+				sc.detected++
+				if truth[slug] != ver {
+					sc.falsePositive++
+				}
+			}
+
+			if tr.Bundled {
+				sc.bundledPages++
+				urlGot := map[string]string{}
+				for _, hit := range Page(html, host).Libraries {
+					if hit.Known && !hit.Version.IsZero() {
+						urlGot[hit.Slug] = hit.Version.String()
+					}
+				}
+				for slug, ver := range truth {
+					sc.urlTruthBundled++
+					if urlGot[slug] == ver {
+						sc.urlHitBundled++
+					}
+				}
+			}
+		}
+	}
+	if sc.pages == 0 {
+		t.Fatalf("%s: no scorable pages", mode.name)
+	}
+	return sc
+}
+
+// TestDetectionAccuracyAcrossBundlerModes is the measured-accuracy gate:
+//
+//   - bundle-aware recall stays >= 0.95 for signature-detectable libraries
+//     in every mode (and for ALL libraries when banners survive);
+//   - precision stays >= 0.99 everywhere — the scanner invents nothing;
+//   - URL-only detection on bundled pages recalls < 0.1 — the blind spot
+//     this PR exists to measure.
+//
+// Run with -v to print the accuracy table (EXPERIMENTS.md carries a copy).
+func TestDetectionAccuracyAcrossBundlerModes(t *testing.T) {
+	t.Logf("%-18s %6s %8s %8s %8s %10s %10s", "mode", "pages", "bundled",
+		"recall", "recall*", "precision", "url-recall")
+	for _, mode := range accuracyModes {
+		sc := scoreMode(t, mode)
+		t.Logf("%-18s %6d %8d %8.4f %8.4f %10.4f %10.4f", mode.name, sc.pages,
+			sc.bundledPages, sc.recall(), sc.recallCode(), sc.precision(), sc.urlRecallBundled())
+
+		if sc.recallCode() < 0.95 {
+			t.Errorf("%s: code-signature recall %.4f < 0.95", mode.name, sc.recallCode())
+		}
+		if sc.precision() < 0.99 {
+			t.Errorf("%s: precision %.4f < 0.99", mode.name, sc.precision())
+		}
+		switch mode.name {
+		case "plain":
+			if sc.bundledPages != 0 {
+				t.Errorf("plain mode generated %d bundled pages", sc.bundledPages)
+			}
+			if sc.recall() < 0.95 {
+				t.Errorf("plain: recall %.4f < 0.95", sc.recall())
+			}
+		case "bundled", "bundled+sourcemap":
+			// Banners survive, so even banner-only libraries resolve.
+			if sc.recall() < 0.95 {
+				t.Errorf("%s: full recall %.4f < 0.95 despite banners", mode.name, sc.recall())
+			}
+			if sc.urlRecallBundled() >= 0.1 {
+				t.Errorf("%s: URL-only recall %.4f on bundles — blind spot missing?",
+					mode.name, sc.urlRecallBundled())
+			}
+		case "bundled+minified":
+			// Banner-stripped: banner-only libraries are the measured
+			// casualty, so full recall must sit strictly below code recall
+			// whenever any banner-only library was in truth.
+			if sc.truthPairs > sc.truthCode && sc.recall() >= sc.recallCode() {
+				t.Errorf("%s: full recall %.4f not below code recall %.4f — banner-only casualty missing",
+					mode.name, sc.recall(), sc.recallCode())
+			}
+			if sc.urlRecallBundled() >= 0.1 {
+				t.Errorf("%s: URL-only recall %.4f on bundles", mode.name, sc.urlRecallBundled())
+			}
+		}
+	}
+}
+
+// TestPlainModeDetectionsIdenticalWithScanOnOrOff pins the BundleScan-off
+// equivalence at the detection level: on a plain-mode (zero-Bundling)
+// population, PageWithScripts over the fetched same-site bodies must return
+// a Detection deep-equal to Page for every single page — scanning costs
+// nothing and changes nothing when URLs already tell the whole story.
+func TestPlainModeDetectionsIdenticalWithScanOnOrOff(t *testing.T) {
+	e := webgen.New(webgen.Config{Domains: 200, Weeks: 6, Seed: 21})
+	checked := 0
+	for i := range e.Sites {
+		host := e.Sites[i].Domain.Name
+		for _, w := range []int{0, 3, 5} {
+			html, status := e.PageHTML(i, w)
+			if status != 200 {
+				continue
+			}
+			base := Page(html, host)
+			withScan := PageWithScripts(html, host, sameSiteScripts(e, i, w, html))
+			if !reflect.DeepEqual(base, withScan) {
+				t.Fatalf("site %d week %d: plain-mode detection changed under scanning:\n base %+v\n scan %+v",
+					i, w, base, withScan)
+			}
+			checked++
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d pages checked", checked)
+	}
+}

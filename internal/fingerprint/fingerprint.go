@@ -36,6 +36,11 @@ type LibraryHit struct {
 	// crossorigin attribute value ("" when absent).
 	SRI         bool
 	Crossorigin string
+	// ViaSignature marks hits whose library or version came from the
+	// content-signature scanner over a fetched script body (see
+	// signature.go) rather than from the URL alone — the only way bundled
+	// dependencies are ever detected.
+	ViaSignature bool
 	// SourceURL is the raw src attribute, for diagnostics.
 	SourceURL string
 }

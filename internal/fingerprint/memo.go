@@ -29,6 +29,20 @@ type Memo struct {
 	cap          int
 	m            map[memoKey]Detection
 	hits, misses uint64
+
+	// scans caches content-signature results per script body, keyed by
+	// content hash alone — a scan has no host dependence, so the same CDN
+	// bundle fetched via two sites warms once. Script bodies change even
+	// less often than pages (a bundle's contenthash name pins its bytes),
+	// so the 21× unchanged-week fast path survives bundle scanning.
+	scans                map[scanKey][]SignatureHit
+	scanHits, scanMisses uint64
+}
+
+// scanKey identifies script content by FNV-1a 64 hash plus length.
+type scanKey struct {
+	hash uint64
+	n    int
 }
 
 // DefaultMemoEntries bounds a Memo when NewMemo is given no capacity. At
@@ -70,12 +84,57 @@ func (mc *Memo) Page(html, pageHost string) Detection {
 	return det
 }
 
+// ScanScript returns the content-signature hits for one script body, from
+// cache when the same content was scanned before. A nil Memo is valid and
+// simply never caches. The returned slice is shared cache state: callers
+// must treat it as read-only (mergeScans does).
+func (mc *Memo) ScanScript(body string) []SignatureHit {
+	if mc == nil {
+		return ScanScript(body)
+	}
+	key := scanKey{hash: fnv1a64(body), n: len(body)}
+	if hits, ok := mc.scans[key]; ok {
+		mc.scanHits++
+		return hits
+	}
+	hits := ScanScript(body)
+	if mc.scans == nil {
+		mc.scans = make(map[scanKey][]SignatureHit)
+	} else if len(mc.scans) >= mc.cap {
+		// Same epoch eviction as the page cache: reset wholesale.
+		mc.scans = make(map[scanKey][]SignatureHit)
+	}
+	mc.scans[key] = hits
+	mc.scanMisses++
+	return hits
+}
+
+// PageWithScripts is the memoized form of the package-level
+// PageWithScripts: the page detection comes from the page cache, each
+// script body's signature scan from the scan cache, and the merge runs
+// copy-on-write so cached Detections are never mutated. Semantics are
+// identical to the package-level function for every input.
+func (mc *Memo) PageWithScripts(html, pageHost string, scripts []ScriptBody) Detection {
+	if mc == nil {
+		return PageWithScripts(html, pageHost, scripts)
+	}
+	return mergeScans(mc.Page(html, pageHost), scripts, mc.ScanScript)
+}
+
 // Stats reports cache hits and misses since creation.
 func (mc *Memo) Stats() (hits, misses uint64) {
 	if mc == nil {
 		return 0, 0
 	}
 	return mc.hits, mc.misses
+}
+
+// ScanStats reports body-scan cache hits and misses since creation.
+func (mc *Memo) ScanStats() (hits, misses uint64) {
+	if mc == nil {
+		return 0, 0
+	}
+	return mc.scanHits, mc.scanMisses
 }
 
 // fnv1a64 is FNV-1a over a string, inlined to avoid the hash/fnv

@@ -1,0 +1,313 @@
+// Content-signature fingerprinting. URL-based version inference (this
+// package's Page) goes blind the moment a site bundles its dependencies:
+// the individual jquery-1.12.4.min.js tags collapse into one
+// bundle.<contenthash>.js whose name carries no library identity at all.
+// What survives bundling — and minification — is the libraries' own code:
+// version-bearing string literals and property assignments (jQuery's
+// `jquery:"1.12.4"` support field, Underscore's `_.VERSION="1.8.3"`), and,
+// when the bundler keeps comments, the /*! ... */ license banners. This
+// file is the Retire.js-style scanner over those discriminators: a
+// per-library anchor table, each match validated against the vulnerability
+// database's release catalog, with longest-known-release tie-breaking for
+// open-ended banner matches.
+//
+// Like the URL tables above, the anchor table shares no code with the page
+// generator; the accuracy harness validates that scanning generated
+// bundles recovers the generator's ground truth.
+package fingerprint
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"clientres/internal/semver"
+	"clientres/internal/vulndb"
+)
+
+// SignatureHit is one (library, version) recovered from script content.
+type SignatureHit struct {
+	// Slug is the canonical library identifier.
+	Slug string
+	// Version is the release the discriminator pinned. Always a catalog
+	// member: candidates outside the library's release set are rejected,
+	// the same no-invented-versions property the URL path has.
+	Version semver.Version
+	// Pos is the byte offset of the discriminator in the scanned body;
+	// hits are reported in ascending Pos order.
+	Pos int
+	// Banner marks a license-banner match; false means a code-level
+	// discriminator, which survives banner-stripping minification.
+	Banner bool
+}
+
+// anchor is one content discriminator: an anchored prefix immediately
+// preceding a version literal. Code anchors terminate at a closing quote;
+// banner anchors are open-ended digit runs resolved by longest-known-
+// release tie-breaking.
+type anchor struct {
+	slug   string
+	prefix string
+	banner bool
+}
+
+// codeAnchors match version-bearing statements that survive minification.
+// Each prefix is chosen to be collision-free against every other library's
+// emission shape (case and punctuation disambiguate, e.g. Bootstrap's
+// `VERSION:"` never matches Underscore's `_.VERSION="`); the catalog-
+// membership check below is the second line of defense. swfobject and
+// jquery-cookie have no code anchor — their real sources carry the version
+// only in the banner, which is what makes them measurably undetectable in
+// banner-stripped bundles.
+var codeAnchors = []anchor{
+	{slug: "jquery", prefix: `jquery:"`},
+	{slug: "jquery-ui", prefix: `ui.version="`},
+	{slug: "jquery-migrate", prefix: `migrateVersion="`},
+	{slug: "bootstrap", prefix: `VERSION:"`},
+	{slug: "modernizr", prefix: `_version:"`},
+	{slug: "underscore", prefix: `_.VERSION="`},
+	{slug: "isotope", prefix: `Isotope.version="`},
+	{slug: "popper", prefix: `Popper.version="`},
+	{slug: "moment", prefix: `hooks.version="`},
+	{slug: "js-cookie", prefix: `Cookies.version="`},
+	{slug: "requirejs", prefix: `req.version="`},
+	{slug: "prototype", prefix: `Prototype={Version:"`},
+	{slug: "polyfill", prefix: `polyfill.version="`},
+}
+
+// bannerNames are the /*! banner spellings of the top-15 libraries. A
+// banner anchor is "/*! <name> v"; the trailing "v" plus the following
+// digit keep "jQuery v1..." from matching "jQuery UI v1...".
+var bannerNames = map[string]string{
+	"jquery":         "jQuery",
+	"jquery-ui":      "jQuery UI",
+	"jquery-migrate": "jQuery Migrate",
+	"jquery-cookie":  "jQuery Cookie Plugin",
+	"js-cookie":      "JavaScript Cookie",
+	"bootstrap":      "Bootstrap",
+	"modernizr":      "Modernizr",
+	"underscore":     "Underscore.js",
+	"isotope":        "Isotope",
+	"popper":         "Popper.js",
+	"moment":         "Moment.js",
+	"requirejs":      "RequireJS",
+	"swfobject":      "SWFObject",
+	"prototype":      "Prototype",
+	"polyfill":       "Polyfill",
+}
+
+// maxVersionLen bounds how far past an anchor the scanner reads: longer
+// candidate runs cannot be release strings and only appear in adversarial
+// input.
+const maxVersionLen = 32
+
+var (
+	anchorsOnce sync.Once
+	allAnchors  []anchor
+	// releaseIdx maps slug → exact release string → parsed version; the
+	// catalog-membership check that keeps generic-looking anchors from
+	// inventing versions.
+	releaseIdx map[string]map[string]semver.Version
+)
+
+func buildAnchors() {
+	allAnchors = append([]anchor(nil), codeAnchors...)
+	releaseIdx = make(map[string]map[string]semver.Version, len(bannerNames))
+	for slug, name := range bannerNames {
+		allAnchors = append(allAnchors, anchor{slug: slug, prefix: "/*! " + name + " v", banner: true})
+		idx := make(map[string]semver.Version)
+		if cat, ok := vulndb.CatalogFor(slug); ok {
+			for _, rel := range cat.Releases {
+				idx[rel.Version.String()] = rel.Version
+			}
+		}
+		releaseIdx[slug] = idx
+	}
+	// Deterministic anchor order (bannerNames is a map).
+	sort.SliceStable(allAnchors[len(codeAnchors):], func(i, j int) bool {
+		a := allAnchors[len(codeAnchors)+i]
+		b := allAnchors[len(codeAnchors)+j]
+		return a.slug < b.slug
+	})
+}
+
+// HasCodeSignature reports whether a library carries a code-level
+// discriminator — i.e. whether it stays detectable in banner-stripped
+// bundles. Banner-only libraries (swfobject, jquery-cookie) return false.
+func HasCodeSignature(slug string) bool {
+	for _, a := range codeAnchors {
+		if a.slug == slug {
+			return true
+		}
+	}
+	return false
+}
+
+// ScanScript recovers (library, version) hits from one script body — a
+// bundle, a standalone .min.js, or arbitrary bytes (the scanner is pure
+// substring work over bytes; NULs and invalid UTF-8 are fine). Hits are
+// deduplicated per library (code evidence beats banner evidence, then the
+// earliest occurrence wins) and ordered by body position.
+func ScanScript(body string) []SignatureHit {
+	anchorsOnce.Do(buildAnchors)
+	var out []SignatureHit
+	byslug := map[string]int{} // slug → index into out
+	for _, a := range allAnchors {
+		from := 0
+		for {
+			i := strings.Index(body[from:], a.prefix)
+			if i < 0 {
+				break
+			}
+			pos := from + i
+			start := pos + len(a.prefix)
+			from = start
+			ver, ok := resolveCandidate(a, body, start)
+			if !ok {
+				continue
+			}
+			hit := SignatureHit{Slug: a.slug, Version: ver, Pos: pos, Banner: a.banner}
+			if j, seen := byslug[a.slug]; seen {
+				if better(hit, out[j]) {
+					out[j] = hit
+				}
+				continue
+			}
+			byslug[a.slug] = len(out)
+			out = append(out, hit)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Slug < out[j].Slug
+	})
+	return out
+}
+
+// better prefers code evidence over banner evidence, then earlier
+// positions.
+func better(a, b SignatureHit) bool {
+	if a.Banner != b.Banner {
+		return !a.Banner
+	}
+	return a.Pos < b.Pos
+}
+
+// resolveCandidate reads the version literal following an anchor and
+// validates it against the library's release catalog.
+func resolveCandidate(a anchor, body string, start int) (semver.Version, bool) {
+	idx := releaseIdx[a.slug]
+	if a.banner {
+		// Open-ended digit run; tie-break to the longest known release
+		// prefix, so "SWFObject v2.2.1-nightly" still resolves to 2.2 and
+		// a run that straddles no release resolves to nothing.
+		end := start
+		limit := start + maxVersionLen
+		for end < len(body) && end < limit {
+			c := body[end]
+			if (c < '0' || c > '9') && c != '.' {
+				break
+			}
+			end++
+		}
+		cand := body[start:end]
+		for cand != "" {
+			if v, ok := idx[cand]; ok {
+				return v, true
+			}
+			dot := strings.LastIndexByte(cand, '.')
+			if dot < 0 {
+				break
+			}
+			cand = cand[:dot]
+		}
+		return semver.Version{}, false
+	}
+	// Code anchors: exact literal up to the closing quote.
+	end := strings.IndexByte(body[start:min(len(body), start+maxVersionLen)], '"')
+	if end < 0 {
+		return semver.Version{}, false
+	}
+	v, ok := idx[body[start:start+end]]
+	return v, ok
+}
+
+// ScriptBody pairs a script's src URL (as written on the page) with its
+// fetched content, for PageWithScripts.
+type ScriptBody struct {
+	URL  string
+	Body string
+}
+
+// PageWithScripts fingerprints a page the bundle-aware way: the URL-based
+// Page detection first, then the content-signature scanner over each
+// fetched script body, merged gap-filling-only — a signature hit upgrades
+// a version-blind URL hit of the same library and adds libraries the URLs
+// never revealed (bundled dependencies), but never contradicts URL
+// evidence. On pages whose URLs already tell the whole story the result
+// is identical to Page, which is what keeps plain-mode runs byte-stable
+// whether body scanning is on or off.
+func PageWithScripts(html, pageHost string, scripts []ScriptBody) Detection {
+	return mergeScans(Page(html, pageHost), scripts, ScanScript)
+}
+
+// mergeScans folds per-script signature hits into a detection, copy-on-
+// write: det's Libraries slice may be shared (memo cache), so it is cloned
+// before any mutation.
+func mergeScans(det Detection, scripts []ScriptBody, scan func(string) []SignatureHit) Detection {
+	var libs []LibraryHit
+	cloned := false
+	ensure := func() {
+		if !cloned {
+			libs = append([]LibraryHit(nil), det.Libraries...)
+			cloned = true
+		}
+	}
+	find := func(slug string) int {
+		if cloned {
+			for i := range libs {
+				if libs[i].Slug == slug {
+					return i
+				}
+			}
+			return -1
+		}
+		for i := range det.Libraries {
+			if det.Libraries[i].Slug == slug {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, sb := range scripts {
+		if sb.Body == "" {
+			continue
+		}
+		for _, hit := range scan(sb.Body) {
+			if i := find(hit.Slug); i >= 0 {
+				existing := det.Libraries
+				if cloned {
+					existing = libs
+				}
+				if !existing[i].Version.IsZero() {
+					continue // URL evidence stands
+				}
+				ensure()
+				libs[i].Version = hit.Version
+				libs[i].ViaSignature = true
+				continue
+			}
+			ensure()
+			libs = append(libs, LibraryHit{
+				Slug: hit.Slug, Known: true, Version: hit.Version,
+				ViaSignature: true, SourceURL: sb.URL,
+			})
+		}
+	}
+	if cloned {
+		det.Libraries = libs
+	}
+	return det
+}

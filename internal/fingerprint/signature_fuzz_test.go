@@ -1,0 +1,81 @@
+package fingerprint
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"clientres/internal/vulndb"
+)
+
+// FuzzSignatureScan throws arbitrary bytes at the content-signature scanner
+// and checks its hard invariants: no panics, determinism, ascending hit
+// positions, at most one hit per library, every version a catalog member,
+// and memoized scanning indistinguishable from cold scanning.
+func FuzzSignatureScan(f *testing.F) {
+	// Seeds: realistic bundles and the hostile shapes that found bugs in
+	// scanners like this one — truncation mid-anchor, NULs, invalid UTF-8,
+	// and version runs straddling the length limit.
+	f.Add(`!function(){"use strict";` + "\n" +
+		`/*! jQuery v1.12.4 | (c) the jquery contributors */` + "\n" +
+		`!function(){var support={jquery:"1.12.4",expando:"jq0.1"};}();` + "\n" +
+		`var __app={site:"x.example",build:"1"};}();`)
+	f.Add(`var support={jquery:"1.12.`)
+	f.Add("\x00\x00_.VERSION=\"1.8.3\";\x00")
+	f.Add("\xff\xfePopper.version=\"1.16.1\"\xff")
+	f.Add(`_.VERSION="1.8.`)
+	f.Add(`/*! jQuery v`)
+	f.Add(`/*! SWFObject v2.2.99999999999999999999999999999999`)
+	f.Add(`VERSION:"` + `4.5.2"` + `VERSION:"4.5.3"`)
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, body string) {
+		hits := ScanScript(body)
+		again := ScanScript(body)
+		if len(hits) != len(again) {
+			t.Fatalf("non-deterministic: %d then %d hits", len(hits), len(again))
+		}
+		seen := map[string]bool{}
+		for i, h := range hits {
+			if !reflect.DeepEqual(h, again[i]) {
+				t.Fatalf("non-deterministic hit %d: %+v vs %+v", i, h, again[i])
+			}
+			if seen[h.Slug] {
+				t.Fatalf("duplicate hit for %q", h.Slug)
+			}
+			seen[h.Slug] = true
+			if h.Pos < 0 || h.Pos >= len(body) {
+				t.Fatalf("hit position %d outside body of %d bytes", h.Pos, len(body))
+			}
+			cat, ok := vulndb.CatalogFor(h.Slug)
+			if !ok {
+				t.Fatalf("hit for unknown library %q", h.Slug)
+			}
+			if _, ok := cat.Find(h.Version); !ok {
+				t.Fatalf("hit %s@%s is not a catalog release", h.Slug, h.Version)
+			}
+		}
+		if !sort.SliceIsSorted(hits, func(i, j int) bool {
+			if hits[i].Pos != hits[j].Pos {
+				return hits[i].Pos < hits[j].Pos
+			}
+			return hits[i].Slug < hits[j].Slug
+		}) {
+			t.Fatalf("hits not ordered by position: %+v", hits)
+		}
+		// The memoized path must agree with the cold path, first call
+		// (miss) and second call (hit) alike.
+		memo := NewMemo(4)
+		for pass := 0; pass < 2; pass++ {
+			mh := memo.ScanScript(body)
+			if len(mh) != len(hits) {
+				t.Fatalf("memo pass %d: %d hits vs %d cold", pass, len(mh), len(hits))
+			}
+			for i := range mh {
+				if !reflect.DeepEqual(mh[i], hits[i]) {
+					t.Fatalf("memo pass %d hit %d differs: %+v vs %+v", pass, i, mh[i], hits[i])
+				}
+			}
+		}
+	})
+}

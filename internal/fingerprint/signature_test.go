@@ -1,0 +1,185 @@
+package fingerprint
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"clientres/internal/vulndb"
+)
+
+func TestScanScriptCodeAnchor(t *testing.T) {
+	body := `!function(){var support={jquery:"1.12.4",expando:"jq0.5"};var a=1;}();`
+	hits := ScanScript(body)
+	if len(hits) != 1 {
+		t.Fatalf("hits = %+v, want one jquery hit", hits)
+	}
+	h := hits[0]
+	if h.Slug != "jquery" || h.Version.String() != "1.12.4" || h.Banner {
+		t.Errorf("hit = %+v, want jquery 1.12.4 via code", h)
+	}
+}
+
+func TestScanScriptBannerAnchor(t *testing.T) {
+	body := `/*! jQuery v3.5.1 | (c) the jquery contributors */ console.log(1);`
+	hits := ScanScript(body)
+	if len(hits) != 1 || hits[0].Slug != "jquery" || hits[0].Version.String() != "3.5.1" || !hits[0].Banner {
+		t.Fatalf("hits = %+v, want jquery 3.5.1 via banner", hits)
+	}
+}
+
+// A version-looking run that straddles no known release resolves to the
+// longest release prefix — and to nothing when no prefix is a release.
+func TestScanScriptBannerLongestPrefix(t *testing.T) {
+	hits := ScanScript(`/*! jQuery v3.5.1.7 */`)
+	if len(hits) != 1 || hits[0].Version.String() != "3.5.1" {
+		t.Fatalf("hits = %+v, want the 3.5.1 prefix", hits)
+	}
+	if hits := ScanScript(`/*! jQuery v99.88 */`); len(hits) != 0 {
+		t.Fatalf("hits = %+v, want none for an unknown release", hits)
+	}
+}
+
+// Versions outside the library's release catalog never produce hits — the
+// scanner cannot invent versions, same as the URL path.
+func TestScanScriptRejectsNonCatalogVersions(t *testing.T) {
+	for _, body := range []string{
+		`var support={jquery:"9.9.9"};`,
+		`_.VERSION="0.0.0-beta";`,
+		`Popper.version="notaversion";`,
+	} {
+		if hits := ScanScript(body); len(hits) != 0 {
+			t.Errorf("ScanScript(%q) = %+v, want none", body, hits)
+		}
+	}
+}
+
+// Code evidence beats banner evidence for the same library, and per-library
+// hits deduplicate to one.
+func TestScanScriptDedupePrefersCode(t *testing.T) {
+	body := `/*! jQuery v3.5.0 */` + "\n" + `var support={jquery:"3.5.1",expando:"x"};` +
+		"\n" + `var support2={jquery:"3.5.1"};`
+	hits := ScanScript(body)
+	if len(hits) != 1 {
+		t.Fatalf("hits = %+v, want one deduped jquery hit", hits)
+	}
+	if hits[0].Banner || hits[0].Version.String() != "3.5.1" {
+		t.Errorf("hit = %+v, want the code-anchored 3.5.1", hits[0])
+	}
+}
+
+// Hits across libraries come back ordered by position in the body.
+func TestScanScriptOrderedByPos(t *testing.T) {
+	body := `_.VERSION="1.8.3";` + "\n" + `var support={jquery:"1.12.4",expando:"y"};` +
+		"\n" + `var Util={TRANSITION_END:"bsTransitionEnd",VERSION:"4.5.2"};`
+	hits := ScanScript(body)
+	if len(hits) != 3 {
+		t.Fatalf("hits = %+v, want underscore, jquery, bootstrap", hits)
+	}
+	wantOrder := []string{"underscore", "jquery", "bootstrap"}
+	for i, h := range hits {
+		if h.Slug != wantOrder[i] {
+			t.Fatalf("hit order = %+v, want %v", hits, wantOrder)
+		}
+		if i > 0 && hits[i-1].Pos >= h.Pos {
+			t.Fatalf("positions not ascending: %+v", hits)
+		}
+	}
+}
+
+// Arbitrary bytes — NULs, invalid UTF-8, truncation mid-anchor — must not
+// panic and must not produce hits from garbage.
+func TestScanScriptHostileBytes(t *testing.T) {
+	for _, body := range []string{
+		"",
+		"\x00\x00\xff\xfe",
+		`var support={jquery:"1.12.`,            // truncated before the quote
+		`_.VERSION="` + strings.Repeat("1", 64), // run past maxVersionLen, never closed
+		"/*! jQuery v",                          // banner anchor at EOF
+	} {
+		if hits := ScanScript(body); len(hits) != 0 {
+			t.Errorf("ScanScript(%q) = %+v, want none", body, hits)
+		}
+	}
+}
+
+// HasCodeSignature partitions the top-15: banner-only libraries are exactly
+// swfobject and jquery-cookie.
+func TestHasCodeSignature(t *testing.T) {
+	bannerOnly := map[string]bool{"swfobject": true, "jquery-cookie": true}
+	for _, lib := range vulndb.Libraries() {
+		if got, want := HasCodeSignature(lib.Slug), !bannerOnly[lib.Slug]; got != want {
+			t.Errorf("HasCodeSignature(%q) = %v, want %v", lib.Slug, got, want)
+		}
+	}
+}
+
+// PageWithScripts on a page whose URLs already tell the whole story returns
+// a detection deep-equal to Page — the plain-mode invariance BundleScan
+// promises — and fills only gaps otherwise.
+func TestPageWithScriptsGapFillingOnly(t *testing.T) {
+	html := `<html><head><script src="/assets/js/jquery-1.12.4.min.js"></script></head></html>`
+	base := Page(html, "site.example")
+	same := PageWithScripts(html, "site.example", []ScriptBody{
+		{URL: "/assets/js/jquery-1.12.4.min.js", Body: `var support={jquery:"3.5.1",expando:"z"};`},
+	})
+	// The URL pinned 1.12.4; the (conflicting) body evidence must not win.
+	if !reflect.DeepEqual(base, same) {
+		t.Errorf("URL evidence overridden:\n base %+v\n got %+v", base, same)
+	}
+
+	det := PageWithScripts(
+		`<html><script src="/assets/bundle.aa.js"></script></html>`, "site.example",
+		[]ScriptBody{{URL: "/assets/bundle.aa.js", Body: `_.VERSION="1.8.3";var support={jquery:"1.12.4",expando:"q"};`}},
+	)
+	got := map[string]string{}
+	for _, hit := range det.Libraries {
+		if !hit.ViaSignature {
+			t.Errorf("bundle-recovered hit not marked ViaSignature: %+v", hit)
+		}
+		got[hit.Slug] = hit.Version.String()
+	}
+	want := map[string]string{"underscore": "1.8.3", "jquery": "1.12.4"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("bundle scan recovered %v, want %v", got, want)
+	}
+}
+
+// A version-blind URL hit (version-control hosting) is upgraded in place by
+// body evidence instead of duplicated.
+func TestPageWithScriptsUpgradesVersionBlindHit(t *testing.T) {
+	html := `<html><script src="https://raw.githubusercontent.com/jquery/jquery/main/dist/jquery.min.js"></script></html>`
+	base := Page(html, "site.example")
+	if len(base.Libraries) != 1 || !base.Libraries[0].Version.IsZero() {
+		t.Fatalf("precondition: want one version-blind jquery hit, got %+v", base.Libraries)
+	}
+	det := PageWithScripts(html, "site.example", []ScriptBody{
+		{URL: "/js/vendored.js", Body: `var support={jquery:"3.5.1",expando:"w"};`},
+	})
+	if len(det.Libraries) != 1 {
+		t.Fatalf("upgrade duplicated the hit: %+v", det.Libraries)
+	}
+	h := det.Libraries[0]
+	if h.Version.String() != "3.5.1" || !h.ViaSignature {
+		t.Errorf("hit = %+v, want version 3.5.1 via signature", h)
+	}
+	// The original detection must be untouched (copy-on-write).
+	if !base.Libraries[0].Version.IsZero() {
+		t.Error("merge mutated the input detection's Libraries slice")
+	}
+}
+
+// Every signature hit's version is a catalog member (spot-checked here, and
+// an invariant of the fuzz target).
+func TestScanScriptVersionsAreCatalogMembers(t *testing.T) {
+	body := `var support={jquery:"1.12.4",expando:"e"};/*! Bootstrap v4.5.2 */`
+	for _, h := range ScanScript(body) {
+		cat, ok := vulndb.CatalogFor(h.Slug)
+		if !ok {
+			t.Fatalf("hit for %q: no catalog", h.Slug)
+		}
+		if _, ok := cat.Find(h.Version); !ok {
+			t.Errorf("hit %s@%s not in catalog", h.Slug, h.Version)
+		}
+	}
+}

@@ -380,6 +380,29 @@ func Elements(src string) []Element {
 	return out
 }
 
+// ScriptSrcs returns the src attribute of every <script src=...> tag in
+// document order. Tags without a src (inline scripts) are skipped; empty
+// src values are not.
+func ScriptSrcs(src string) []string {
+	var out []string
+	z := New(src)
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			return out
+		}
+		if tok.Kind != StartTagToken && tok.Kind != SelfClosingTagToken {
+			continue
+		}
+		if tok.Name != "script" {
+			continue
+		}
+		if s, ok := tok.Attr("src"); ok && s != "" {
+			out = append(out, s)
+		}
+	}
+}
+
 // Comments returns the data of every comment in the document.
 func Comments(src string) []string {
 	var out []string

@@ -31,6 +31,9 @@ type LibRecord struct {
 	// SRI marks an integrity attribute; Crossorigin its companion value.
 	SRI         bool   `json:"sri,omitempty"`
 	Crossorigin string `json:"crossorigin,omitempty"`
+	// Sig marks a detection recovered from script content (a bundle's
+	// signature scan) rather than from a <script src> URL.
+	Sig bool `json:"sig,omitempty"`
 }
 
 // FlashRecord is the Flash embedding state of a page.
@@ -139,7 +142,7 @@ var (
 		gz, _ := gzip.NewWriterLevel(io.Discard, gzip.BestSpeed)
 		return gz
 	}}
-	gzrPool = sync.Pool{} // holds *gzip.Reader; empty Get means "make one"
+	gzrPool  = sync.Pool{} // holds *gzip.Reader; empty Get means "make one"
 	bufwPool = sync.Pool{New: func() any {
 		return bufio.NewWriterSize(io.Discard, 1<<16)
 	}}

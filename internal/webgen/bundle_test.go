@@ -1,0 +1,191 @@
+package webgen
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// ecoFingerprint folds every page of an ecosystem into one hash — the
+// regression pin for "this configuration renders these exact bytes".
+func ecoFingerprint(e *Ecosystem) uint64 {
+	acc := uint64(14695981039346656037)
+	for w := 0; w < e.Cfg.Weeks; w++ {
+		for i := range e.Sites {
+			html, status := e.PageHTML(i, w)
+			acc = acc*1099511628211 + contentHash(html) + uint64(status)
+		}
+	}
+	return acc
+}
+
+// TestPlainModeGoldenUnchanged pins the zero-Bundling population byte-for-
+// byte: adding the bundler must not move a single byte of the historical
+// output, or every seed-pinned downstream result silently shifts. If this
+// fails after an intentional generator change, re-derive the constant; if
+// it fails after a bundler change, the bundler leaked into plain mode.
+func TestPlainModeGoldenUnchanged(t *testing.T) {
+	e := New(Config{Domains: 300, Weeks: 12, Seed: 42})
+	const want = uint64(0x27beb4fe3e79b2e9)
+	if got := ecoFingerprint(e); got != want {
+		t.Errorf("plain-mode ecosystem fingerprint = %#x, want %#x", got, want)
+	}
+}
+
+// TestBundleDeterminism: the same (seed, domains, weeks, bundling) must
+// produce byte-identical bundles across independent Ecosystems — including
+// when built and rendered concurrently (run under -race by check.sh) — and
+// a different seed must produce different bundle bytes.
+func TestBundleDeterminism(t *testing.T) {
+	cfg := Config{Domains: 150, Weeks: 10, Seed: 5, Bundling: DefaultBundling(1)}
+	const goroutines = 4
+	hashes := make([]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			hashes[g] = ecoFingerprint(New(cfg))
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if hashes[g] != hashes[0] {
+			t.Fatalf("run %d fingerprint %#x != run 0 fingerprint %#x", g, hashes[g], hashes[0])
+		}
+	}
+
+	// Per-bundle byte identity, not just whole-ecosystem hash equality.
+	a, b := New(cfg), New(cfg)
+	bundles := 0
+	for i := range a.Sites {
+		for w := 0; w < cfg.Weeks; w += 3 {
+			ta, tb := a.Truth(i, w), b.Truth(i, w)
+			if !ta.Bundled {
+				continue
+			}
+			nameA, bodyA := bundleInfo(a.Sites[i], ta)
+			nameB, bodyB := bundleInfo(b.Sites[i], tb)
+			if nameA != nameB || bodyA != bodyB {
+				t.Fatalf("site %d week %d: bundles differ across identical runs", i, w)
+			}
+			bundles++
+		}
+	}
+	if bundles == 0 {
+		t.Fatal("no bundled pages generated at Fraction 1")
+	}
+
+	other := cfg
+	other.Seed = 6
+	if ecoFingerprint(New(other)) == hashes[0] {
+		t.Error("different seeds produced identical ecosystems")
+	}
+}
+
+// TestBundledPageRendering: a bundled page replaces its individual library
+// tags with exactly one /assets/bundle.<hash>.js tag, and its truth marks
+// every library internal (the bundle is served same-site regardless of
+// where the library originally came from).
+func TestBundledPageRendering(t *testing.T) {
+	e := New(Config{Domains: 200, Weeks: 8, Seed: 9, Bundling: DefaultBundling(1)})
+	bundled, plain := 0, 0
+	for i := range e.Sites {
+		tr := e.Truth(i, 4)
+		if !tr.Accessible || tr.EmptyPage {
+			continue
+		}
+		html, status := e.PageHTML(i, 4)
+		if status != 200 {
+			continue
+		}
+		if !tr.Bundled {
+			plain++
+			continue
+		}
+		bundled++
+		name, body := bundleInfo(e.Sites[i], tr)
+		tag := fmt.Sprintf(`<script src="/assets/%s"></script>`, name)
+		if !strings.Contains(html, tag) {
+			t.Fatalf("site %d: bundled page missing its bundle tag %q", i, name)
+		}
+		if strings.Count(html, "/assets/bundle.") != 1 {
+			t.Fatalf("site %d: want exactly one bundle tag, html has %d",
+				i, strings.Count(html, "/assets/bundle."))
+		}
+		for _, lib := range tr.Libs {
+			if lib.External || lib.Host != "" || lib.SRI {
+				t.Fatalf("site %d: bundled truth still marks %s external/SRI", i, lib.Slug)
+			}
+			if strings.Contains(html, lib.Slug+"-"+lib.Version.String()) {
+				t.Fatalf("site %d: bundled page still references %s by versioned URL", i, lib.Slug)
+			}
+		}
+		if e.Sites[i].Bundle.SourceMap && !strings.Contains(body, "sourceMappingURL=") {
+			t.Fatalf("site %d: SourceMap profile without a sourceMappingURL trailer", i)
+		}
+	}
+	if bundled == 0 {
+		t.Fatal("no bundled pages at Fraction 1")
+	}
+	if plain == 0 {
+		t.Fatal("no plain pages — static/WordPress sites should never bundle")
+	}
+}
+
+// TestAssetJSResolvesPageScripts: every same-site script src a rendered
+// page references must be resolvable through AssetJS — the contract the
+// web server and the crawler's script fetching depend on — and unknown
+// paths must not resolve.
+func TestAssetJSResolvesPageScripts(t *testing.T) {
+	e := New(Config{Domains: 150, Weeks: 6, Seed: 3, Bundling: DefaultBundling(0.5)})
+	resolved := 0
+	for i := range e.Sites {
+		for w := 0; w < e.Cfg.Weeks; w += 2 {
+			html, status := e.PageHTML(i, w)
+			if status != 200 {
+				continue
+			}
+			for _, src := range scriptSrcsOf(html) {
+				if strings.Contains(src, "://") {
+					continue // cross-origin: served by the CDN, not this site
+				}
+				body, ok := e.AssetJS(i, w, src)
+				if !ok {
+					t.Fatalf("site %d week %d: AssetJS cannot resolve %q", i, w, src)
+				}
+				if body == "" {
+					t.Fatalf("site %d week %d: empty body for %q", i, w, src)
+				}
+				resolved++
+			}
+		}
+	}
+	if resolved == 0 {
+		t.Fatal("no same-site scripts resolved")
+	}
+	if _, ok := e.AssetJS(0, 0, "/assets/nope.js"); ok {
+		t.Error("AssetJS resolved a path no page references")
+	}
+}
+
+// scriptSrcsOf extracts script src attributes without importing htmlx
+// (webgen must stay import-free of the detection stack).
+func scriptSrcsOf(html string) []string {
+	var out []string
+	rest := html
+	for {
+		i := strings.Index(rest, `<script src="`)
+		if i < 0 {
+			return out
+		}
+		rest = rest[i+len(`<script src="`):]
+		j := strings.IndexByte(rest, '"')
+		if j < 0 {
+			return out
+		}
+		out = append(out, rest[:j])
+		rest = rest[j:]
+	}
+}

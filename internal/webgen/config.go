@@ -46,6 +46,12 @@ type Config struct {
 	Weeks int
 	// Seed drives all randomness; equal seeds give identical ecosystems.
 	Seed int64
+	// Bundling parameterizes the seed-driven bundler mode (see bundle.go).
+	// The zero value disables it, and a disabled bundler perturbs nothing:
+	// bundle profiles draw from their own derived RNG stream, so plain
+	// ecosystems render byte-identical with or without this field compiled
+	// in (pinned by the golden-hash regression test).
+	Bundling Bundling
 }
 
 // withDefaults fills zero fields.

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"clientres/internal/cdn"
+	"clientres/internal/semver"
 )
 
 // PageHTML renders the landing page of site index i at week w and returns
@@ -42,9 +43,15 @@ func renderRNG(s *Site) *rand.Rand {
 	return rand.New(rand.NewSource(mix(s.seed, 0x12e4de12)))
 }
 
+// siteURLStyle resolves the site's internal asset URL shape — the first
+// draw of the rendering RNG, shared by renderPage and AssetJS so the
+// served body for a src always matches the tag that referenced it.
+func siteURLStyle(s *Site) urlStyle {
+	return urlStyle(renderRNG(s).Intn(3))
+}
+
 func renderPage(s *Site, t PageTruth) string {
-	rng := renderRNG(s)
-	style := urlStyle(rng.Intn(3))
+	style := siteURLStyle(s)
 
 	b := new(strings.Builder)
 	b.Grow(4096)
@@ -71,9 +78,15 @@ func renderPage(s *Site, t PageTruth) string {
 		b.WriteString("<script src=\"/render/loader.php\"></script>\n")
 	}
 
-	// Library script tags.
-	for _, lib := range t.Libs {
-		writeLibScript(b, s, lib, t, style)
+	// Library script tags — or, on bundled pages, the single artifact
+	// that replaced them.
+	if t.Bundled {
+		name, _ := bundleInfo(s, t)
+		fmt.Fprintf(b, "<script src=\"/assets/%s\"></script>\n", name)
+	} else {
+		for _, lib := range t.Libs {
+			writeLibScript(b, s, lib, t, style)
+		}
 	}
 	for _, tl := range t.Tail {
 		fmt.Fprintf(b, "<script src=\"/vendor/%s/%s/%s.min.js\"></script>\n", tl.Name, tl.Version, tl.Name)
@@ -103,32 +116,38 @@ func renderPage(s *Site, t PageTruth) string {
 	return b.String()
 }
 
-// writeLibScript emits the <script> tag for one library observation.
-func writeLibScript(b *strings.Builder, s *Site, lib LibObservation, t PageTruth, style urlStyle) {
-	var src string
+// libSrc computes the src attribute of one library observation. wp is the
+// page's WordPress version (zero off-platform). Factored out of
+// writeLibScript so AssetJS can resolve the same src back to a body.
+func libSrc(lib LibObservation, wp semver.Version, style urlStyle) string {
 	switch {
 	case lib.External && cdn.IsVersionControl(lib.Host):
 		// Version-control hosting carries no version information in the
 		// URL — faithfully so; such inclusions are version-blind to the
 		// fingerprinter, as they were to Wappalyzer.
-		src = cdn.VersionControlURL(strings.TrimSuffix(lib.Host, ".github.io"), lib.Slug)
+		return cdn.VersionControlURL(strings.TrimSuffix(lib.Host, ".github.io"), lib.Slug)
 	case lib.External:
-		src = cdn.URL(lib.Host, lib.Slug, lib.Version.String())
-	case !t.WordPress.IsZero() && (lib.Slug == "jquery" || lib.Slug == "jquery-migrate"):
+		return cdn.URL(lib.Host, lib.Slug, lib.Version.String())
+	case !wp.IsZero() && (lib.Slug == "jquery" || lib.Slug == "jquery-migrate"):
 		// WordPress core enqueues bundled libraries under wp-includes
 		// with a ?ver= cache-buster.
-		src = fmt.Sprintf("/wp-includes/js/jquery/%s.min.js?ver=%s", cdn.FileBase(lib.Slug), lib.Version)
+		return fmt.Sprintf("/wp-includes/js/jquery/%s.min.js?ver=%s", cdn.FileBase(lib.Slug), lib.Version)
 	default:
 		base := cdn.FileBase(lib.Slug)
 		switch style {
 		case styleFileVersion:
-			src = fmt.Sprintf("/assets/js/%s-%s.min.js", base, lib.Version)
+			return fmt.Sprintf("/assets/js/%s-%s.min.js", base, lib.Version)
 		case stylePathVersion:
-			src = fmt.Sprintf("/static/%s/%s/%s.min.js", lib.Slug, lib.Version, base)
+			return fmt.Sprintf("/static/%s/%s/%s.min.js", lib.Slug, lib.Version, base)
 		default:
-			src = fmt.Sprintf("/js/%s.min.js?v=%s", base, lib.Version)
+			return fmt.Sprintf("/js/%s.min.js?v=%s", base, lib.Version)
 		}
 	}
+}
+
+// writeLibScript emits the <script> tag for one library observation.
+func writeLibScript(b *strings.Builder, s *Site, lib LibObservation, t PageTruth, style urlStyle) {
+	src := libSrc(lib, t.WordPress, style)
 	b.WriteString("<script src=\"")
 	b.WriteString(src)
 	b.WriteString("\"")

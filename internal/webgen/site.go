@@ -122,6 +122,9 @@ type Site struct {
 	Libs  []LibUse
 	Tail  []TailLib
 	Flash *FlashUse
+
+	// Bundle is the site's bundler behaviour (zero = plain script tags).
+	Bundle BundleProfile
 }
 
 // TailLib is a long-tail library beyond the top 15 (no CVE analysis, but
@@ -399,6 +402,9 @@ func newSite(cfg Config, dom alexa.Domain) *Site {
 	s.genLibraries(cfg, rng)
 	s.genTail(rng)
 	s.genFlash(cfg, rng)
+	// Last and from its own RNG stream: the bundle profile must not shift
+	// any draw above, or plain ecosystems would change shape.
+	s.genBundle(cfg)
 	return s
 }
 

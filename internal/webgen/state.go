@@ -41,10 +41,16 @@ type PageTruth struct {
 	EmptyPage bool
 	// WordPress is the platform version (zero when the site is not WP).
 	WordPress semver.Version
-	Libs      []LibObservation
-	Tail      []TailLib
-	Flash     *FlashObservation
-	HasJS     bool
+	// Bundled marks pages whose top-15 libraries ship concatenated in one
+	// bundle.<contenthash>.js instead of individual script tags; their
+	// Libs are internalized (the bundle vendors every dependency, so
+	// External/Host/SRI no longer apply). Tail libraries and app scripts
+	// keep their own tags even on bundled pages.
+	Bundled bool
+	Libs    []LibObservation
+	Tail    []TailLib
+	Flash   *FlashObservation
+	HasJS   bool
 	UsesCSS, UsesFavicon, UsesImportedHTML,
 	UsesXML, UsesSVG, UsesAXD bool
 }
@@ -103,6 +109,15 @@ func (s *Site) truth(week int) PageTruth {
 			continue
 		}
 		t.Libs = append(t.Libs, obs)
+	}
+	if s.Bundle.Enabled && len(t.Libs) > 0 {
+		t.Bundled = true
+		for i := range t.Libs {
+			t.Libs[i].External = false
+			t.Libs[i].Host = ""
+			t.Libs[i].SRI = false
+			t.Libs[i].Crossorigin = ""
+		}
 	}
 	t.Tail = s.Tail
 	// Imported-HTML loaders are script tags, so they count as JavaScript

@@ -48,12 +48,22 @@ func PageURL(week int, domain string) string {
 	return fmt.Sprintf("/w/%d/%s/", week, domain)
 }
 
+// AssetURL returns the request path serving a same-site asset of a domain
+// at a snapshot week. src is the root-relative src attribute as rendered
+// on the page ("/assets/bundle.abc.js").
+func AssetURL(week int, domain, src string) string {
+	if !strings.HasPrefix(src, "/") {
+		src = "/" + src
+	}
+	return fmt.Sprintf("/w/%d/%s%s", week, domain, src)
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.Latency > 0 {
 		time.Sleep(s.Latency)
 	}
-	week, domain, ok := parsePath(r.URL.Path)
+	week, domain, rest, ok := parsePath(r.URL.Path)
 	if !ok {
 		http.NotFound(w, r)
 		return
@@ -68,6 +78,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "week out of range", http.StatusBadRequest)
 		return
 	}
+	if rest != "" {
+		// Same-site asset (script body). Chaos faults stay page-only: the
+		// fault drill targets the landing-page fetch path, and the chaos
+		// schedule is keyed per (domain, week), not per resource.
+		s.serveAsset(w, r, i, week, rest)
+		return
+	}
 	html, status := s.eco.PageHTML(i, week)
 	if status == 0 {
 		abort(w)
@@ -78,6 +95,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writePage(w, html, status)
+}
+
+// serveAsset answers a same-site script request from the generator's
+// asset resolver. Dead weeks abort like the page does; anything the page
+// does not reference is a plain 404.
+func (s *Server) serveAsset(w http.ResponseWriter, r *http.Request, i, week int, rest string) {
+	_, status := s.eco.PageHTML(i, week)
+	if status == 0 {
+		abort(w)
+		return
+	}
+	body, ok := s.eco.AssetJS(i, week, rest)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/javascript; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, body)
 }
 
 func writePage(w http.ResponseWriter, html string, status int) {
@@ -117,15 +153,19 @@ func hijackClose(w http.ResponseWriter, reset bool) bool {
 	return true
 }
 
-// parsePath splits "/w/{week}/{domain}/" into its parts.
-func parsePath(path string) (week int, domain string, ok bool) {
-	parts := strings.Split(strings.Trim(path, "/"), "/")
+// parsePath splits "/w/{week}/{domain}[/asset...]" into its parts; rest is
+// the root-relative asset path ("" for the landing page itself).
+func parsePath(path string) (week int, domain, rest string, ok bool) {
+	parts := strings.SplitN(strings.TrimPrefix(path, "/"), "/", 4)
 	if len(parts) < 3 || parts[0] != "w" {
-		return 0, "", false
+		return 0, "", "", false
 	}
 	week, err := strconv.Atoi(parts[1])
 	if err != nil {
-		return 0, "", false
+		return 0, "", "", false
 	}
-	return week, parts[2], true
+	if len(parts) == 4 && strings.Trim(parts[3], "/") != "" {
+		rest = "/" + strings.TrimSuffix(parts[3], "/")
+	}
+	return week, parts[2], rest, true
 }

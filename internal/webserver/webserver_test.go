@@ -15,19 +15,22 @@ func TestParsePath(t *testing.T) {
 		path   string
 		week   int
 		domain string
+		rest   string
 		ok     bool
 	}{
-		{"/w/0/news1.com/", 0, "news1.com", true},
-		{"/w/200/shop2.org", 200, "shop2.org", true},
-		{"/w/x/news1.com/", 0, "", false},
-		{"/nope", 0, "", false},
-		{"/w/3", 0, "", false},
+		{"/w/0/news1.com/", 0, "news1.com", "", true},
+		{"/w/200/shop2.org", 200, "shop2.org", "", true},
+		{"/w/3/news1.com/assets/bundle.abc.js", 3, "news1.com", "/assets/bundle.abc.js", true},
+		{"/w/3/news1.com/js/app.js", 3, "news1.com", "/js/app.js", true},
+		{"/w/x/news1.com/", 0, "", "", false},
+		{"/nope", 0, "", "", false},
+		{"/w/3", 0, "", "", false},
 	}
 	for _, c := range cases {
-		week, domain, ok := parsePath(c.path)
-		if ok != c.ok || (ok && (week != c.week || domain != c.domain)) {
-			t.Errorf("parsePath(%q) = (%d, %q, %v), want (%d, %q, %v)",
-				c.path, week, domain, ok, c.week, c.domain, c.ok)
+		week, domain, rest, ok := parsePath(c.path)
+		if ok != c.ok || (ok && (week != c.week || domain != c.domain || rest != c.rest)) {
+			t.Errorf("parsePath(%q) = (%d, %q, %q, %v), want (%d, %q, %q, %v)",
+				c.path, week, domain, rest, ok, c.week, c.domain, c.rest, c.ok)
 		}
 	}
 }

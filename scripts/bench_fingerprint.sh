@@ -1,0 +1,39 @@
+#!/bin/sh
+# Signature-scanner perf ablations: runs BenchmarkSignatureScan (scan
+# throughput over plain / bundled / minified script-body populations) and
+# BenchmarkSignatureScanMemo (cold scan vs content-hash scan-cache hit on
+# a simulated re-crawl week) with -benchmem and appends one JSON line per
+# benchmark result to BENCH_fingerprint.json, so perf PRs accumulate a
+# machine-readable before/after record. Override the measurement budget
+# with BENCHTIME (default 1x, the smoke setting scripts/check.sh uses).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${OUT:-BENCH_fingerprint.json}"
+
+raw=$(go test -run '^$' -bench 'BenchmarkSignatureScan|BenchmarkSignatureScanMemo' \
+	-benchmem -benchtime "$BENCHTIME" .)
+printf '%s\n' "$raw"
+
+ts=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+printf '%s\n' "$raw" | awk -v ts="$ts" -v benchtime="$BENCHTIME" '
+/^Benchmark/ {
+	name = $1; iters = $2
+	ns = bytes = allocs = mbs = ""
+	for (i = 3; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		else if ($i == "B/op") bytes = $(i - 1)
+		else if ($i == "allocs/op") allocs = $(i - 1)
+		else if ($i == "MB/s") mbs = $(i - 1)
+	}
+	line = sprintf("{\"ts\":\"%s\",\"benchtime\":\"%s\",\"bench\":\"%s\",\"iters\":%s,\"ns_per_op\":%s",
+		ts, benchtime, name, iters, ns)
+	if (bytes != "")  line = line sprintf(",\"bytes_per_op\":%s", bytes)
+	if (allocs != "") line = line sprintf(",\"allocs_per_op\":%s", allocs)
+	if (mbs != "")    line = line sprintf(",\"mb_per_s\":%s", mbs)
+	print line "}"
+}' >> "$OUT"
+
+echo "appended results to $OUT"

@@ -23,13 +23,14 @@ go test -run '^$' -fuzz '^FuzzTokenize$' -fuzztime "$FUZZTIME" ./internal/htmlx
 go test -run '^$' -fuzz '^FuzzParseVersion$' -fuzztime "$FUZZTIME" ./internal/semver
 go test -run '^$' -fuzz '^FuzzRange$' -fuzztime "$FUZZTIME" ./internal/semver
 go test -run '^$' -fuzz '^FuzzAuditHandler$' -fuzztime "$FUZZTIME" ./internal/service
+go test -run '^$' -fuzz '^FuzzSignatureScan$' -fuzztime "$FUZZTIME" ./internal/fingerprint
 
 # One-iteration bench smoke of the store/fingerprint/serve perf ablations:
 # not a measurement, just proof the benchmarks still build, run, and verify
 # their own observation counts (BenchmarkServeAudit additionally reconciles
 # the service's /metrics counters against the load it generated).
-echo "==> bench smoke (store read/write + fingerprint memo + serve audit, 1 iteration)"
-go test -run '^$' -bench 'BenchmarkStoreReadSegments|BenchmarkStoreWrite|BenchmarkFingerprintMemo|BenchmarkServeAudit' \
+echo "==> bench smoke (store read/write + fingerprint memo + signature scan + serve audit, 1 iteration)"
+go test -run '^$' -bench 'BenchmarkStoreReadSegments|BenchmarkStoreWrite|BenchmarkFingerprintMemo|BenchmarkSignatureScan|BenchmarkServeAudit' \
 	-benchmem -benchtime 1x .
 
 # Chaos-crawl smoke: an end-to-end cmd/crawl run with fault injection and
@@ -40,6 +41,27 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 go run ./cmd/crawl -domains 40 -weeks 3 -chaos 0.3 -politeness \
 	-out "$tmp/chaos.jsonl.gz" >/dev/null
+
+# Bundled-mode smoke: generate a bundling population, crawl it with
+# script-body fetching + signature scanning on, and prove the analyzer's
+# bundle-scan summary reports signature-recovered detections end-to-end.
+# The direct-mode gendata store of the same population is the reference:
+# its summary counts the bundled ground truth the crawl must recover.
+echo "==> bundled crawl smoke (gendata -> crawl -bundle-scan -> analyze)"
+go run ./cmd/gendata -domains 40 -weeks 3 -bundle-frac 0.8 -quiet \
+	-out "$tmp/bundled-truth.jsonl.gz" >/dev/null
+go run ./cmd/analyze -in "$tmp/bundled-truth.jsonl.gz" -weeks 3 -domains 40 \
+	-bundle-scan >"$tmp/bundled-truth.report"
+go run ./cmd/crawl -domains 40 -weeks 3 -bundle-frac 0.8 -bundle-scan \
+	-out "$tmp/bundled.jsonl.gz" >/dev/null
+go run ./cmd/analyze -in "$tmp/bundled.jsonl.gz" -weeks 3 -domains 40 \
+	-bundle-scan >"$tmp/bundled.report"
+for rep in "$tmp/bundled-truth.report" "$tmp/bundled.report"; do
+	grep -q 'Bundle-scan summary' "$rep"
+	sigs=$(sed -n 's/.*signature-recovered library detections: *\([0-9]*\) \/.*/\1/p' "$rep")
+	[ "${sigs:-0}" -gt 0 ] || {
+		echo "$rep: no signature-recovered detections in a bundled run"; exit 1; }
+done
 
 # Crash-recovery smoke: SIGKILL a checkpointed crawl mid-run, fsck the
 # wreckage, resume, and prove the final report is byte-identical to an
