@@ -3,15 +3,21 @@ package clientres
 // Ablations for the segmented store and the fingerprint memo cache — the
 // two ends of the pipeline PR 1 left serial. BenchmarkStoreReadSegments
 // compares a full archive replay through the single sequential gzip
-// stream against the segmented parallel readers at 1/2/4/8 segments
-// (run with -benchmem: the no-retain decode path of the parallel reader
-// also cuts allocations/op). BenchmarkFingerprintMemo measures the
-// re-crawl fingerprinting cost with and without the content-hash memo —
-// the week-over-week unchanged-page case the paper's 531-day mean update
+// stream against the segmented parallel readers at 1/2/4/8 segments, for
+// both the v2 framed and v3 delta formats (run with -benchmem: the delta
+// decoder skips JSON entirely for week-over-week unchanged records, so
+// allocs/op drop far below the framed decoder's). BenchmarkStoreDecodeSegment
+// isolates the parallelism argument on a single CPU: it decodes ONE
+// segment of an N-segment archive, showing per-segment replay cost shrink
+// proportionally with segment count — the unit of work a parallel replay
+// distributes. BenchmarkFingerprintMemo measures the re-crawl
+// fingerprinting cost with and without the content-hash memo — the
+// week-over-week unchanged-page case the paper's 531-day mean update
 // delay makes dominant. BenchmarkStoreWrite measures the write-path
-// durability tax: record framing (checksums) and per-week commit fsyncs
-// versus the original unframed stream. `make bench-store` runs all three
-// and appends machine-readable results to BENCH_store.json.
+// durability tax and the delta size win: plain v1, framed v2, and delta
+// v3, each without and with per-week commit fsyncs, reporting the final
+// archive size as the archive-bytes metric. `make bench-store` runs all
+// of them and appends machine-readable results to BENCH_store.json.
 
 import (
 	"fmt"
@@ -26,15 +32,15 @@ import (
 )
 
 // benchStores materializes the benchmark observation stream as a
-// single-file archive plus segmented archives at several segment counts,
-// once per process.
+// single-file v1 archive plus v2 (framed) and v3 (delta) segmented
+// archives at several segment counts, once per process.
 var (
 	benchStoreOnce sync.Once
 	benchStoreDir  string
 	benchStoreErr  error
 )
 
-func benchStorePaths(b *testing.B) (single string, segmented func(int) string) {
+func benchStorePaths(b *testing.B) (single string, segmented func(format, segs int) string) {
 	obs, _ := benchData(b)
 	benchStoreOnce.Do(func() {
 		// Not b.TempDir: the archives must survive this benchmark's
@@ -60,20 +66,24 @@ func benchStorePaths(b *testing.B) (single string, segmented func(int) string) {
 		if benchStoreErr = w.Close(); benchStoreErr != nil {
 			return
 		}
-		for _, segs := range []int{1, 2, 4, 8} {
-			sw, err := store.CreateSegmented(filepath.Join(dir, fmt.Sprintf("obs-%d.store", segs)), segs)
-			if err != nil {
-				benchStoreErr = err
-				return
-			}
-			for _, o := range obs {
-				if err := sw.Write(o); err != nil {
+		for _, format := range []int{store.FormatFramed, store.FormatDelta} {
+			for _, segs := range []int{1, 2, 4, 8} {
+				sw, err := store.CreateSegmentedWith(
+					filepath.Join(dir, fmt.Sprintf("obs-v%d-%d.store", format, segs)),
+					segs, store.SegmentedOptions{Format: format})
+				if err != nil {
 					benchStoreErr = err
 					return
 				}
-			}
-			if benchStoreErr = sw.Close(); benchStoreErr != nil {
-				return
+				for _, o := range obs {
+					if err := sw.Write(o); err != nil {
+						benchStoreErr = err
+						return
+					}
+				}
+				if benchStoreErr = sw.Close(); benchStoreErr != nil {
+					return
+				}
 			}
 		}
 	})
@@ -81,14 +91,15 @@ func benchStorePaths(b *testing.B) (single string, segmented func(int) string) {
 		b.Fatal(benchStoreErr)
 	}
 	return filepath.Join(benchStoreDir, "obs.jsonl.gz"),
-		func(segs int) string {
-			return filepath.Join(benchStoreDir, fmt.Sprintf("obs-%d.store", segs))
+		func(format, segs int) string {
+			return filepath.Join(benchStoreDir, fmt.Sprintf("obs-v%d-%d.store", format, segs))
 		}
 }
 
 // BenchmarkStoreReadSegments replays the full archive: the single-file
 // sequential decoder versus the parallel per-segment decoders (the
-// no-retain fast path core.RunFromStore uses when shards == segments).
+// no-retain fast path core.RunFromStore uses when shards == segments),
+// in both the framed and delta formats.
 func BenchmarkStoreReadSegments(b *testing.B) {
 	single, segmented := benchStorePaths(b)
 	count := func(b *testing.B, n int) {
@@ -110,34 +121,67 @@ func BenchmarkStoreReadSegments(b *testing.B) {
 			count(b, n)
 		}
 	})
-	for _, segs := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("segments=%d", segs), func(b *testing.B) {
-			dir := segmented(segs)
-			for i := 0; i < b.N; i++ {
-				counts := make([]int, segs)
-				if err := store.ForEachSegmentedParallel(dir, func(seg int, _ store.Observation) error {
-					counts[seg]++
-					return nil
-				}); err != nil {
-					b.Fatal(err)
+	for _, format := range []int{store.FormatFramed, store.FormatDelta} {
+		for _, segs := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("v%d/segments=%d", format, segs), func(b *testing.B) {
+				dir := segmented(format, segs)
+				for i := 0; i < b.N; i++ {
+					counts := make([]int, segs)
+					if err := store.ForEachSegmentedParallel(dir, func(seg int, _ store.Observation) error {
+						counts[seg]++
+						return nil
+					}); err != nil {
+						b.Fatal(err)
+					}
+					n := 0
+					for _, c := range counts {
+						n += c
+					}
+					count(b, n)
 				}
-				n := 0
-				for _, c := range counts {
-					n += c
-				}
-				count(b, n)
-			}
-		})
+			})
+		}
 	}
 }
 
-// BenchmarkStoreWrite measures the durability tax on the write path:
-// "plain-v1" is the original unframed single-file archive, "framed" the v2
-// segmented layout with per-record length+checksum frames, and
-// "framed-commit" the fully crash-safe configuration — one CommitWeek
-// (segment flush + gzip member close + fsync + atomic checkpoint) per
-// collected week. The framed and framed-commit costs over plain-v1 are the
-// checksum and fsync overhead EXPERIMENTS.md tracks (budget: under ~10%).
+// BenchmarkStoreDecodeSegment decodes segment 0 of an N-segment archive —
+// the unit of work one goroutine owns in a parallel replay. On any
+// machine (including a single-CPU one where wall-clock parallel speedup
+// is invisible) this shows the scaling argument directly: per-segment
+// decode cost falls proportionally with segment count, and the v3 delta
+// decoder does far less work per record than the v2 framed decoder.
+func BenchmarkStoreDecodeSegment(b *testing.B) {
+	_, segmented := benchStorePaths(b)
+	for _, format := range []int{store.FormatFramed, store.FormatDelta} {
+		for _, segs := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("v%d/segments=%d", format, segs), func(b *testing.B) {
+				dir := segmented(format, segs)
+				for i := 0; i < b.N; i++ {
+					n := 0
+					if err := store.ForEachSegment(dir, 0, func(store.Observation) error {
+						n++
+						return nil
+					}); err != nil {
+						b.Fatal(err)
+					}
+					if n == 0 {
+						b.Fatal("segment 0 replayed empty")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkStoreWrite measures the durability tax and size of each write
+// path: "plain-v1" is the original unframed single-file archive, "framed"
+// the v2 segmented layout with per-record length+checksum frames,
+// "delta" the v3 layout with delta-encoded records and member checksums,
+// and the -commit variants the fully crash-safe configuration — one
+// CommitWeek (segment flush + gzip member close + fsync + atomic
+// checkpoint) per collected week. Each variant reports the finished
+// archive size as archive-bytes; EXPERIMENTS.md tracks both the time tax
+// (budget: under ~10% for framing) and the v3 size win.
 func BenchmarkStoreWrite(b *testing.B) {
 	obs, weeks := benchData(b)
 	perWeek := make([][]store.Observation, weeks)
@@ -149,6 +193,19 @@ func BenchmarkStoreWrite(b *testing.B) {
 		b.Helper()
 		for _, o := range obs {
 			if err := w.Write(o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	writeCommitted := func(b *testing.B, w *store.SegmentedWriter) {
+		b.Helper()
+		for wk, week := range perWeek {
+			for _, o := range week {
+				if err := w.Write(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.CommitWeek(wk); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -166,6 +223,7 @@ func BenchmarkStoreWrite(b *testing.B) {
 		}
 	}
 	dir := b.TempDir()
+	run := store.RunID{Seed: 1, Domains: len(perWeek[0]), Weeks: weeks}
 	b.Run("plain-v1", func(b *testing.B) {
 		path := filepath.Join(dir, "plain.jsonl.gz")
 		for i := 0; i < b.N; i++ {
@@ -177,42 +235,41 @@ func BenchmarkStoreWrite(b *testing.B) {
 			finish(b, w, path)
 			b.SetBytes(bytes)
 		}
+		b.ReportMetric(float64(bytes), "archive-bytes")
 	})
-	b.Run("framed", func(b *testing.B) {
-		path := filepath.Join(dir, "framed.store")
-		for i := 0; i < b.N; i++ {
-			w, err := store.CreateSegmented(path, 1)
-			if err != nil {
-				b.Fatal(err)
-			}
-			writeAll(b, w)
-			finish(b, w, store.SegmentPath(path, 0))
-			b.SetBytes(bytes)
-		}
-	})
-	b.Run("framed-commit", func(b *testing.B) {
-		path := filepath.Join(dir, "commit.store")
-		run := store.RunID{Seed: 1, Domains: len(perWeek[0]), Weeks: weeks}
-		for i := 0; i < b.N; i++ {
-			w, err := store.CreateSegmentedWith(path, 1,
-				store.SegmentedOptions{Checkpoint: true, Run: run})
-			if err != nil {
-				b.Fatal(err)
-			}
-			for wk, week := range perWeek {
-				for _, o := range week {
-					if err := w.Write(o); err != nil {
-						b.Fatal(err)
-					}
-				}
-				if err := w.CommitWeek(wk); err != nil {
+	for _, v := range []struct {
+		name   string
+		format int
+	}{{"framed", store.FormatFramed}, {"delta", store.FormatDelta}} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			path := filepath.Join(dir, v.name+".store")
+			for i := 0; i < b.N; i++ {
+				w, err := store.CreateSegmentedWith(path, 1, store.SegmentedOptions{Format: v.format})
+				if err != nil {
 					b.Fatal(err)
 				}
+				writeAll(b, w)
+				finish(b, w, store.SegmentPath(path, 0))
+				b.SetBytes(bytes)
 			}
-			finish(b, w, store.SegmentPath(path, 0))
-			b.SetBytes(bytes)
-		}
-	})
+			b.ReportMetric(float64(bytes), "archive-bytes")
+		})
+		b.Run(v.name+"-commit", func(b *testing.B) {
+			path := filepath.Join(dir, v.name+"-commit.store")
+			for i := 0; i < b.N; i++ {
+				w, err := store.CreateSegmentedWith(path, 1,
+					store.SegmentedOptions{Checkpoint: true, Run: run, Format: v.format})
+				if err != nil {
+					b.Fatal(err)
+				}
+				writeCommitted(b, w)
+				finish(b, w, store.SegmentPath(path, 0))
+				b.SetBytes(bytes)
+			}
+			b.ReportMetric(float64(bytes), "archive-bytes")
+		})
+	}
 }
 
 // BenchmarkFingerprintMemo measures one simulated re-crawl week: every

@@ -69,8 +69,24 @@ func main() {
 		if in.Manifest.Salvaged {
 			salvaged = " (salvaged archive)"
 		}
-		fmt.Printf("%s: ok — %d segments, %d records, all checksums valid%s\n",
-			*dir, in.Manifest.Segments, in.TotalRecords, salvaged)
+		fmt.Printf("%s: ok — %s, %d segments, %d records, all checksums valid%s\n",
+			*dir, formatName(in.Manifest.Version), in.Manifest.Segments, in.TotalRecords, salvaged)
+	}
+}
+
+// formatName renders a store format / manifest version for humans.
+func formatName(v int) string {
+	switch v {
+	case store.FormatPlain:
+		return "format v1 (plain JSONL)"
+	case store.FormatFramed:
+		return "format v2 (framed records)"
+	case store.FormatDelta:
+		return "format v3 (delta streams)"
+	case 0:
+		return "format unknown (empty)"
+	default:
+		return fmt.Sprintf("format v%d (unrecognized)", v)
 	}
 }
 
@@ -87,8 +103,8 @@ func printInspection(in store.Inspection) {
 	}
 	switch {
 	case in.HasCheckpoint:
-		fmt.Printf("  checkpoint: %d weeks committed, %d records (run seed=%d domains=%d weeks=%d)\n",
-			in.Checkpoint.CommittedWeeks, in.Checkpoint.Total,
+		fmt.Printf("  checkpoint: %s, %d weeks committed, %d records (run seed=%d domains=%d weeks=%d)\n",
+			formatName(in.Checkpoint.Format), in.Checkpoint.CommittedWeeks, in.Checkpoint.Total,
 			in.Checkpoint.Run.Seed, in.Checkpoint.Run.Domains, in.Checkpoint.Run.Weeks)
 	case in.CheckpointErr != "":
 		fmt.Printf("  checkpoint: CORRUPT (%s)\n", in.CheckpointErr)
@@ -100,8 +116,8 @@ func printInspection(in store.Inspection) {
 		if seg.Truncated {
 			state = "TORN: " + seg.Err
 		}
-		fmt.Printf("  seg %04d: %8d bytes, %7d records, %s\n",
-			seg.Index, seg.SizeBytes, seg.Records, state)
+		fmt.Printf("  seg %04d: %s, %8d bytes, %3d members, %7d records, %s\n",
+			seg.Index, formatName(seg.Format), seg.SizeBytes, seg.Members, seg.Records, state)
 	}
 	fmt.Printf("  total decodable records: %d\n", in.TotalRecords)
 }

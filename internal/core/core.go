@@ -716,7 +716,9 @@ func replayFile(path string, weeks, domains, shards int, res *Results) error {
 		}(s)
 	}
 	err := store.ForEach(path, func(obs store.Observation) error {
-		chans[shardOf(obs.Domain, shards)] <- obs
+		// The channel send retains obs past the callback, but every
+		// ForEach path reuses its decode buffers — hand over a clone.
+		chans[shardOf(obs.Domain, shards)] <- obs.Clone()
 		return nil
 	})
 	for _, c := range chans {
@@ -744,7 +746,8 @@ func replayFile(path string, weeks, domains, shards int, res *Results) error {
 //     may reuse its Libs buffers because collectors never retain them.
 //   - otherwise: segments still decode concurrently, re-routing each
 //     observation to its shard channel by domain hash (a channel send
-//     retains the observation, so this path uses the plain decoder).
+//     retains the observation, so this path clones out of the decoder's
+//     reused buffers).
 func replaySegmented(dir string, weeks, domains, shards int, res *Results) error {
 	man, err := store.ReadManifest(dir)
 	if err != nil {
@@ -793,7 +796,9 @@ func replaySegmented(dir string, weeks, domains, shards int, res *Results) error
 			go func(seg int) {
 				defer readWG.Done()
 				errs[seg] = store.ForEachSegment(dir, seg, func(obs store.Observation) error {
-					chans[shardOf(obs.Domain, shards)] <- obs
+					// Channel sends retain obs past the callback; the
+					// pooled decoder reuses its buffers, so clone.
+					chans[shardOf(obs.Domain, shards)] <- obs.Clone()
 					return nil
 				})
 			}(seg)

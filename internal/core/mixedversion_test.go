@@ -1,0 +1,69 @@
+package core
+
+// Cross-version replay equivalence: the same observation set stored in
+// every on-disk format the store has ever written — v1 plain JSONL, v2
+// framed, v3 delta — must replay to byte-identical reports through
+// RunFromStore, serial and sharded. This is the compatibility contract
+// that lets old archives keep feeding new analysis code.
+
+import (
+	"context"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"clientres/internal/store"
+)
+
+func TestMixedVersionStoresReplayIdentically(t *testing.T) {
+	dir := t.TempDir()
+	base := Config{Domains: 120, Weeks: 10, Seed: 17, SkipPoC: true}
+
+	// The reference run writes a v1 single file (store.Create is plain).
+	single := filepath.Join(dir, "obs.jsonl.gz")
+	cfg := base
+	cfg.StorePath = single
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunFromStore(single, base.Weeks, base.Domains, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportOf(t, ref)
+
+	obs, err := store.ReadAll(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stores := map[string]string{"v1-file": single}
+	for _, format := range []int{store.FormatFramed, store.FormatDelta} {
+		segDir := filepath.Join(dir, "store-v"+strconv.Itoa(format))
+		w, err := store.CreateSegmentedWith(segDir, 3, store.SegmentedOptions{Format: format})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range obs {
+			if err := w.Write(o); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		stores["v"+strconv.Itoa(format)+"-dir"] = segDir
+	}
+
+	for name, path := range stores {
+		for _, shards := range []int{1, 3, 4} {
+			res, err := RunFromStore(path, base.Weeks, base.Domains, shards)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", name, shards, err)
+			}
+			if got := reportOf(t, res); got != want {
+				t.Errorf("%s shards=%d: report differs from v1 single-file replay", name, shards)
+			}
+		}
+	}
+}

@@ -43,6 +43,11 @@ type RunID struct {
 // CommittedWeeks-1 is durably on disk at the recorded per-segment offsets.
 type Checkpoint struct {
 	Version int `json:"version"`
+	// Format is the record format the segments are encoded in
+	// (FormatFramed or FormatDelta); journals written before the field
+	// existed are framed, so zero normalizes to FormatFramed on read. A
+	// resume continues in the journal's format.
+	Format int `json:"format,omitempty"`
 	// CommittedWeeks counts fully committed weeks; the next week to
 	// collect is week CommittedWeeks (0-based).
 	CommittedWeeks int     `json:"committed_weeks"`
@@ -50,7 +55,13 @@ type Checkpoint struct {
 	Offsets        []int64 `json:"offsets"`
 	Counts         []int   `json:"counts"`
 	Total          int     `json:"total"`
-	Run            RunID   `json:"run"`
+	// Members is the per-segment committed member table of a delta-format
+	// store: checkpoint salvage re-hashes the committed prefix against it
+	// before trusting a decode. Per segment, the member lengths must sum
+	// to the committed offset and the record counts to the committed
+	// count — ReadCheckpoint enforces both.
+	Members [][]Member `json:"members,omitempty"`
+	Run     RunID      `json:"run"`
 }
 
 // CheckpointPath returns the journal path inside a store directory.
@@ -92,6 +103,34 @@ func ReadCheckpoint(dir string) (Checkpoint, error) {
 	if total != ck.Total {
 		return Checkpoint{}, fmt.Errorf("store: %s: checkpoint totals inconsistent (%d declared, %d summed)",
 			dir, ck.Total, total)
+	}
+	if ck.Format == 0 {
+		ck.Format = FormatFramed // journals predating the format field
+	}
+	if ck.Format != FormatFramed && ck.Format != FormatDelta {
+		return Checkpoint{}, fmt.Errorf("store: %s: checkpoint format %d not supported", dir, ck.Format)
+	}
+	if ck.Format == FormatDelta {
+		if len(ck.Members) != ck.Segments {
+			return Checkpoint{}, fmt.Errorf("store: %s: checkpoint inconsistent (%d segments, %d member tables)",
+				dir, ck.Segments, len(ck.Members))
+		}
+		for i, members := range ck.Members {
+			var bytes int64
+			records := 0
+			for _, m := range members {
+				if m.Len <= 0 || m.Records < 0 {
+					return Checkpoint{}, fmt.Errorf("store: %s: checkpoint segment %d member table invalid", dir, i)
+				}
+				bytes += m.Len
+				records += m.Records
+			}
+			if bytes != ck.Offsets[i] || records != ck.Counts[i] {
+				return Checkpoint{}, fmt.Errorf(
+					"store: %s: checkpoint segment %d member table inconsistent (%d bytes vs offset %d, %d records vs count %d)",
+					dir, i, bytes, ck.Offsets[i], records, ck.Counts[i])
+			}
+		}
 	}
 	return ck, nil
 }

@@ -101,12 +101,12 @@ func TestCheckpointCommitResumeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if man.Salvaged || man.Total != len(all) || man.Version != ManifestVersionFramed {
+	if man.Salvaged || man.Total != len(all) || man.Version != ManifestVersionDelta {
 		t.Fatalf("manifest after resumed run: %+v", man)
 	}
 	var got []Observation
 	if err := ForEachSegmented(dir, func(o Observation) error {
-		got = append(got, o)
+		got = append(got, o.Clone())
 		return nil
 	}); err != nil {
 		t.Fatal(err)

@@ -116,17 +116,25 @@ func atomicWriteFile(fsys FS, path string, data []byte) error {
 	return nil
 }
 
+// FNV-1a parameters — the checksum family of the v2 record frames, the v3
+// member table, and the ShardOf partition function.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// fnv1aUpdate folds b into a running FNV-1a state (start from fnvOffset32
+// for a fresh sum) — the incremental form the member hasher needs.
+func fnv1aUpdate(h uint32, b []byte) uint32 {
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
 // fnv1aSum is FNV-1a over a byte slice — the record-frame checksum, the
 // same hash family ShardOf partitions by.
 func fnv1aSum(b []byte) uint32 {
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
-	for i := 0; i < len(b); i++ {
-		h ^= uint32(b[i])
-		h *= prime32
-	}
-	return h
+	return fnv1aUpdate(fnvOffset32, b)
 }

@@ -30,6 +30,13 @@ type SegmentInfo struct {
 	Index     int
 	Path      string
 	SizeBytes int64
+	// Format is the record format sniffed from the segment's first
+	// decompressed byte (FormatPlain/Framed/Delta; 0 for an empty or
+	// unreadable stream).
+	Format int
+	// Members counts the segment's complete gzip members — the committed
+	// durability units of a multi-member segment.
+	Members int
 	// Records counts the decodable, checksum-valid record prefix.
 	Records int
 	// Truncated marks a segment whose scan stopped at a decode error
@@ -103,7 +110,10 @@ func Inspect(dir string) (Inspection, error) {
 		if fi, err := os.Stat(path); err == nil {
 			info.SizeBytes = fi.Size()
 		}
-		scanErr := forEachFile(path, true, func(Observation) error {
+		info.Format, _ = sniffFormat(path)
+		// Best-effort member count: a torn tail reports the intact prefix.
+		info.Members, _ = countGzipMembers(path)
+		scanErr := forEachFile(path, func(Observation) error {
 			info.Records++
 			return nil
 		})
@@ -144,6 +154,23 @@ func Verify(dir string) (Inspection, error) {
 		if want := in.Manifest.Counts[seg.Index]; seg.Records != want {
 			return in, fmt.Errorf("store: %s: manifest declares %d records, segment holds %d",
 				filepath.Base(seg.Path), want, seg.Records)
+		}
+		if in.Manifest.Version == ManifestVersionDelta {
+			// v3: the member table must account for every compressed byte
+			// of the segment with matching FNV-1a sums and record counts —
+			// corruption is caught on the raw bytes, decode aside.
+			members := in.Manifest.Members[seg.Index]
+			records := 0
+			for _, m := range members {
+				records += m.Records
+			}
+			if records != seg.Records {
+				return in, fmt.Errorf("store: %s: member table records %d, segment holds %d",
+					filepath.Base(seg.Path), records, seg.Records)
+			}
+			if err := verifyMemberTable(seg.Path, members); err != nil {
+				return in, err
+			}
 		}
 	}
 	if in.HasCheckpoint && in.Checkpoint.Segments != in.Manifest.Segments {
@@ -226,11 +253,20 @@ func salvageFromCheckpoint(fsys FS, dir string, ck Checkpoint) (SalvageResult, e
 		if err != nil {
 			return res, fmt.Errorf("store: %s: %w", path, err)
 		}
+		// Delta stores carry a stronger authority than the offsets alone:
+		// the journal's member table. Re-hash the truncated file against
+		// it before trusting any decode — a bit flip inside committed data
+		// fails here on the raw bytes.
+		if ck.Format == FormatDelta {
+			if err := verifyMemberTable(path, ck.Members[i]); err != nil {
+				return res, fmt.Errorf("store: committed member corrupt: %w", err)
+			}
+		}
 		// Cross-check: the committed prefix must decode to exactly the
 		// committed record count; anything else means corruption inside
 		// committed data, which salvage must refuse to paper over.
 		n := 0
-		if err := forEachFile(path, true, func(Observation) error { n++; return nil }); err != nil {
+		if err := forEachFile(path, func(Observation) error { n++; return nil }); err != nil {
 			return res, fmt.Errorf("store: committed prefix corrupt: %w", err)
 		}
 		if n != ck.Counts[i] {
@@ -238,7 +274,7 @@ func salvageFromCheckpoint(fsys FS, dir string, ck Checkpoint) (SalvageResult, e
 				path, ck.Counts[i], n)
 		}
 	}
-	if err := writeSalvagedManifest(fsys, dir, ck.Segments, ck.Counts); err != nil {
+	if err := writeSalvagedManifest(fsys, dir, ck.Segments, ck.Counts, ck.Format, ck.Members); err != nil {
 		return res, err
 	}
 	return res, nil
@@ -249,20 +285,24 @@ func salvageFromCheckpoint(fsys FS, dir string, ck Checkpoint) (SalvageResult, e
 var errSalvageWrite = errors.New("store: salvage rewrite failed")
 
 // salvageByScan rewrites each segment to its longest valid record prefix.
+// The rewrite always targets the current delta format, whatever version
+// the torn segment was — salvage of a v1 or v2 store upgrades it to v3,
+// complete with a member table in the rebuilt manifest.
 func salvageByScan(fsys FS, dir string) (SalvageResult, error) {
 	paths, err := segmentFiles(dir)
 	if err != nil {
 		return SalvageResult{}, err
 	}
 	res := SalvageResult{Segments: len(paths), Counts: make([]int, len(paths))}
+	members := make([][]Member, len(paths))
 	for i, path := range paths {
 		tmp := path + ".salvage"
-		nw, err := createFile(fsys, tmp, true)
+		nw, err := createFile(fsys, tmp, FormatDelta)
 		if err != nil {
 			return res, fmt.Errorf("store: %w", err)
 		}
 		kept := 0
-		scanErr := forEachFile(path, false, func(o Observation) error {
+		scanErr := forEachFile(path, func(o Observation) error {
 			if err := nw.Write(o); err != nil {
 				return fmt.Errorf("%w: %s: %v", errSalvageWrite, tmp, err)
 			}
@@ -282,6 +322,7 @@ func salvageByScan(fsys FS, dir string) (SalvageResult, error) {
 			_ = fsys.Remove(tmp)
 			return res, fmt.Errorf("store: %s: %w", tmp, err)
 		}
+		members[i] = append([]Member(nil), nw.members...)
 		if err := nw.Close(); err != nil {
 			_ = fsys.Remove(tmp)
 			return res, fmt.Errorf("store: %s: %w", tmp, err)
@@ -296,19 +337,22 @@ func salvageByScan(fsys FS, dir string) (SalvageResult, error) {
 		res.Counts[i] = kept
 		res.Total += kept
 	}
-	if err := writeSalvagedManifest(fsys, dir, res.Segments, res.Counts); err != nil {
+	if err := writeSalvagedManifest(fsys, dir, res.Segments, res.Counts, FormatDelta, members); err != nil {
 		return res, err
 	}
 	return res, nil
 }
 
-func writeSalvagedManifest(fsys FS, dir string, segments int, counts []int) error {
+func writeSalvagedManifest(fsys FS, dir string, segments int, counts []int, version int, members [][]Member) error {
 	man := Manifest{
-		Version:   ManifestVersionFramed,
+		Version:   version,
 		Segments:  segments,
 		Partition: PartitionFNV1aDomain,
 		Counts:    counts,
 		Salvaged:  true,
+	}
+	if version == ManifestVersionDelta {
+		man.Members = members
 	}
 	for _, c := range counts {
 		man.Total += c

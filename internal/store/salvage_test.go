@@ -118,7 +118,7 @@ func TestSalvageScanRebuildsTornStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !man.Salvaged || man.Version != ManifestVersionFramed {
+	if !man.Salvaged || man.Version != ManifestVersionDelta {
 		t.Fatalf("salvaged manifest: %+v", man)
 	}
 	if _, err := Verify(dir); err != nil {
@@ -281,7 +281,7 @@ func writeV1Store(t *testing.T, dir string, obs []Observation, segments int) {
 	writers := make([]*Writer, segments)
 	counts := make([]int, segments)
 	for i := range writers {
-		w, err := createFile(osFS{}, SegmentPath(dir, i), false)
+		w, err := createFile(osFS{}, SegmentPath(dir, i), FormatPlain)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -329,7 +329,7 @@ func TestV1StoreBackCompat(t *testing.T) {
 	}
 	var got []Observation
 	if err := ForEach(dir, func(o Observation) error {
-		got = append(got, o)
+		got = append(got, o.Clone())
 		return nil
 	}); err != nil {
 		t.Fatal(err)
@@ -368,7 +368,7 @@ func TestV1StoreBackCompat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !man2.Salvaged || man2.Version != ManifestVersionFramed {
+	if !man2.Salvaged || man2.Version != ManifestVersionDelta {
 		t.Fatalf("salvaged v1 manifest: %+v", man2)
 	}
 	if _, err := Verify(torn); err != nil {

@@ -30,14 +30,18 @@ const ManifestName = "manifest.json"
 // uses; readers refuse manifests declaring anything else.
 const PartitionFNV1aDomain = "fnv1a-domain"
 
-// Manifest versions. Version 1 segments are plain gzip JSONL; version 2
-// segments frame every record with a length + FNV-1a checksum header (see
-// Writer) and may span multiple gzip members (one per committed week).
-// Readers sniff the encoding per stream, so both versions read through the
+// Manifest versions — numerically identical to the record format
+// constants (FormatPlain/Framed/Delta). Version 1 segments are plain gzip
+// JSONL; version 2 segments frame every record with a length + FNV-1a
+// checksum header (see Writer) and may span multiple gzip members (one
+// per committed week); version 3 segments delta-encode per-domain streams
+// and carry whole-member checksums in the manifest's member table.
+// Readers sniff the encoding per stream, so all versions read through the
 // same entry points.
 const (
-	ManifestVersionPlain  = 1
-	ManifestVersionFramed = 2
+	ManifestVersionPlain  = FormatPlain
+	ManifestVersionFramed = FormatFramed
+	ManifestVersionDelta  = FormatDelta
 )
 
 // Manifest describes a segmented store directory.
@@ -48,6 +52,11 @@ type Manifest struct {
 	// Counts holds per-segment observation counts; Total their sum.
 	Counts []int `json:"counts"`
 	Total  int   `json:"total"`
+	// Members is the per-segment member table of a version-3 store: each
+	// segment's committed gzip members with compressed length, FNV-1a sum
+	// over the compressed bytes, and record count. Verify re-hashes the
+	// raw segment files against it.
+	Members [][]Member `json:"members,omitempty"`
 	// Salvaged marks a manifest rebuilt by Salvage from a crashed or torn
 	// store rather than written by a clean Close.
 	Salvaged bool `json:"salvaged,omitempty"`
@@ -88,8 +97,11 @@ type SegmentedWriter struct {
 	dir  string
 	fsys FS
 	opt  SegmentedOptions
-	segs []*Writer
-	mus  []sync.Mutex
+	// format is the resolved record format of every segment (FormatFramed
+	// or FormatDelta; resumes inherit the checkpoint's format).
+	format int
+	segs   []*Writer
+	mus    []sync.Mutex
 	// committedWeeks mirrors the last checkpoint written (checkpointed
 	// writers only).
 	committedWeeks int
@@ -106,6 +118,11 @@ type SegmentedOptions struct {
 	// Run is the identity stamped into the journal; ResumeSegmented
 	// refuses a checkpoint stamped by a different run.
 	Run RunID
+	// Format selects the segment record format: FormatDelta (the default
+	// when zero) or FormatFramed (the v2 layout, kept writable so existing
+	// v2 stores can be resumed and regression-tested). New v1 segmented
+	// stores cannot be written, only read.
+	Format int
 	// FS overrides the filesystem the durable write path goes through
 	// (nil = the real one); the fault-injection tests substitute one that
 	// fails chosen operations.
@@ -128,6 +145,13 @@ func CreateSegmentedWith(dir string, n int, opt SegmentedOptions) (*SegmentedWri
 	if n < 1 {
 		n = 1
 	}
+	format := opt.Format
+	if format == 0 {
+		format = FormatDelta
+	}
+	if format != FormatFramed && format != FormatDelta {
+		return nil, fmt.Errorf("store: %s: unsupported segment format %d", dir, format)
+	}
 	fsys := realFS(opt.FS)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -135,10 +159,10 @@ func CreateSegmentedWith(dir string, n int, opt SegmentedOptions) (*SegmentedWri
 	if err := cleanStaleRun(fsys, dir, n); err != nil {
 		return nil, err
 	}
-	w := &SegmentedWriter{dir: dir, fsys: fsys, opt: opt,
+	w := &SegmentedWriter{dir: dir, fsys: fsys, opt: opt, format: format,
 		segs: make([]*Writer, n), mus: make([]sync.Mutex, n)}
 	for i := range w.segs {
-		seg, err := createFile(fsys, SegmentPath(dir, i), true)
+		seg, err := createFile(fsys, SegmentPath(dir, i), format)
 		if err != nil {
 			for j := 0; j < i; j++ {
 				_ = w.segs[j].Close()
@@ -233,16 +257,23 @@ func (w *SegmentedWriter) CommitWeek(week int) error {
 	}
 	ck := Checkpoint{
 		Version:        CheckpointVersion,
+		Format:         w.format,
 		CommittedWeeks: week + 1,
 		Segments:       len(w.segs),
 		Offsets:        make([]int64, len(w.segs)),
 		Counts:         make([]int, len(w.segs)),
 		Run:            w.opt.Run,
 	}
+	if w.format == FormatDelta {
+		ck.Members = make([][]Member, len(w.segs))
+	}
 	for i, seg := range w.segs {
 		w.mus[i].Lock()
 		off, err := seg.commit()
 		count := seg.Count()
+		if ck.Members != nil {
+			ck.Members[i] = append([]Member(nil), seg.members...)
+		}
 		w.mus[i].Unlock()
 		if err != nil {
 			return fmt.Errorf("store: %s: %w", SegmentPath(w.dir, i), err)
@@ -270,16 +301,22 @@ func (w *SegmentedWriter) CommittedWeeks() int { return w.committedWeeks }
 func (w *SegmentedWriter) Close() error {
 	var first error
 	man := Manifest{
-		Version:   ManifestVersionFramed,
+		Version:   w.format,
 		Segments:  len(w.segs),
 		Partition: PartitionFNV1aDomain,
 		Counts:    make([]int, len(w.segs)),
+	}
+	if w.format == FormatDelta {
+		man.Members = make([][]Member, len(w.segs))
 	}
 	for i, seg := range w.segs {
 		man.Counts[i] = seg.Count()
 		man.Total += seg.Count()
 		if _, err := seg.commit(); err != nil && first == nil {
 			first = err
+		}
+		if man.Members != nil {
+			man.Members[i] = append([]Member(nil), seg.members...)
 		}
 		if err := seg.Close(); err != nil && first == nil {
 			first = err
@@ -340,11 +377,19 @@ func ResumeSegmented(dir string, opt SegmentedOptions) (*SegmentedWriter, Checkp
 	if err := fsys.Remove(filepath.Join(dir, ManifestName)); err != nil && !os.IsNotExist(err) {
 		return nil, Checkpoint{}, fmt.Errorf("store: %w", err)
 	}
-	w := &SegmentedWriter{dir: dir, fsys: fsys, opt: opt,
+	// The journal's format is authoritative: a resumed store continues in
+	// the format its committed prefix is encoded in, whatever the resuming
+	// configuration would have defaulted to — mixing formats mid-segment
+	// would break the per-stream sniff.
+	w := &SegmentedWriter{dir: dir, fsys: fsys, opt: opt, format: ck.Format,
 		segs: make([]*Writer, ck.Segments), mus: make([]sync.Mutex, ck.Segments),
 		committedWeeks: ck.CommittedWeeks}
 	for i := range w.segs {
-		seg, err := resumeFile(fsys, SegmentPath(dir, i), ck.Offsets[i], ck.Counts[i])
+		var members []Member
+		if ck.Members != nil {
+			members = ck.Members[i]
+		}
+		seg, err := resumeFile(fsys, SegmentPath(dir, i), ck.Offsets[i], ck.Counts[i], ck.Format, members)
 		if err != nil {
 			for j := 0; j < i; j++ {
 				_ = w.segs[j].abort()
@@ -377,12 +422,17 @@ func ReadManifest(dir string) (Manifest, error) {
 	if err := json.Unmarshal(data, &man); err != nil {
 		return Manifest{}, fmt.Errorf("store: %s: corrupt manifest: %w", dir, err)
 	}
-	if man.Version != ManifestVersionPlain && man.Version != ManifestVersionFramed {
+	if man.Version != ManifestVersionPlain && man.Version != ManifestVersionFramed &&
+		man.Version != ManifestVersionDelta {
 		return Manifest{}, fmt.Errorf("store: %s: manifest version %d not supported", dir, man.Version)
 	}
 	if man.Segments < 1 || man.Segments != len(man.Counts) {
 		return Manifest{}, fmt.Errorf("store: %s: manifest inconsistent (%d segments, %d counts)",
 			dir, man.Segments, len(man.Counts))
+	}
+	if man.Version == ManifestVersionDelta && len(man.Members) != man.Segments {
+		return Manifest{}, fmt.Errorf("store: %s: manifest inconsistent (%d segments, %d member tables)",
+			dir, man.Segments, len(man.Members))
 	}
 	if man.Partition != PartitionFNV1aDomain {
 		return Manifest{}, fmt.Errorf("store: %s: unknown partition %q", dir, man.Partition)
@@ -391,8 +441,10 @@ func ReadManifest(dir string) (Manifest, error) {
 }
 
 // ForEachSegment streams one segment of a segmented store, in file order.
+// The same no-retain contract as ForEach applies: Clone observations the
+// callback keeps.
 func ForEachSegment(dir string, seg int, fn func(Observation) error) error {
-	return forEachFile(SegmentPath(dir, seg), false, fn)
+	return forEachFile(SegmentPath(dir, seg), fn)
 }
 
 // ForEachSegmented streams every observation of a segmented store to fn,
@@ -430,7 +482,7 @@ func ForEachSegmentedParallel(dir string, fn func(seg int, obs Observation) erro
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			errs[s] = forEachFile(SegmentPath(dir, s), true, func(obs Observation) error {
+			errs[s] = forEachFile(SegmentPath(dir, s), func(obs Observation) error {
 				return fn(s, obs)
 			})
 		}(s)

@@ -113,7 +113,7 @@ func TestSegmentedRoundTrip(t *testing.T) {
 		for name, read := range readers {
 			var got []Observation
 			if err := read(func(o Observation) error {
-				got = append(got, o)
+				got = append(got, o.Clone())
 				return nil
 			}); err != nil {
 				t.Fatalf("segments=%d %s: %v", segments, name, err)
@@ -285,7 +285,7 @@ func TestSegmentedWriterConcurrent(t *testing.T) {
 	}
 	var got []Observation
 	if err := ForEach(dir, func(o Observation) error {
-		got = append(got, o)
+		got = append(got, o.Clone())
 		return nil
 	}); err != nil {
 		t.Fatal(err)

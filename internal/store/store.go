@@ -98,31 +98,63 @@ type Sink interface {
 	Close() error
 }
 
+// Record formats. The numbers double as manifest versions: a segmented
+// store's manifest.Version is the format its segments are encoded in.
+//
+//	FormatPlain  (v1): plain gzip JSON lines, one observation per line.
+//	FormatFramed (v2): every record preceded by a "#<len> <fnv1a-hex>\n"
+//	                   frame; multi-member gzip, one member per commit.
+//	FormatDelta  (v3): per-domain delta streams ('='/'~'/'^' records, see
+//	                   delta.go) with whole-member FNV-1a checksums kept in
+//	                   the checkpoint/manifest member table (members.go).
+//
+// Readers sniff the format from the first decompressed byte of each
+// stream, so all three versions read through the same entry points.
+const (
+	FormatPlain  = 1
+	FormatFramed = 2
+	FormatDelta  = 3
+)
+
 // Writer streams observations to a gzip JSONL file. It is not safe for
 // concurrent use; callers sharing one Writer must serialize Write.
 //
-// A writer created framed (the segmented v2 layout) precedes every record
-// with a self-describing frame header — "#<len> <fnv1a-hex>\n" — so
-// readers verify each record's length and checksum before handing it to a
-// callback, and salvage can cut a torn file back to its last valid record.
-// The file is a concatenation of gzip members: commit (the week-boundary
-// durability point) finishes the open member and fsyncs, and the next
-// Write starts a fresh member, so a crash never tears a committed member.
+// A framed (v2) writer precedes every record with a self-describing frame
+// header — "#<len> <fnv1a-hex>\n" — so readers verify each record's
+// length and checksum before handing it to a callback, and salvage can cut
+// a torn file back to its last valid record. A delta (v3) writer encodes
+// each domain's week N as a diff against its week N-1 and checksums whole
+// compressed members instead of records. In both, the file is a
+// concatenation of gzip members: commit (the week-boundary durability
+// point) finishes the open member and fsyncs, and the next Write starts a
+// fresh member, so a crash never tears a committed member.
 type Writer struct {
-	f      File
-	gz     *gzip.Writer
-	buf    *bufio.Writer
-	enc    *json.Encoder
-	n      int
-	framed bool
+	f   File
+	gz  *gzip.Writer
+	buf *bufio.Writer
+	enc *json.Encoder
+	n   int
+	// format is the record encoding (FormatPlain/Framed/Delta); the zero
+	// value writes plain v1, so a zero-value Writer keeps v1 semantics.
+	format int
 	// open tracks whether a gzip member is in progress; commit closes the
-	// member and clears it, the next Write resets gz onto f and sets it.
+	// member and clears it, the next Write resets gz and sets it.
 	open    bool
 	scratch bytes.Buffer
-	// hdr is the reusable frame-header scratch: the longest header —
-	// "#<7 digits> <8 hex>\n" at maxFrameLen — is 18 bytes, so building
-	// headers here never allocates per record.
+	// hdr is the reusable header scratch: the longest v2 frame header —
+	// "#<7 digits> <8 hex>\n" at maxFrameLen — is 18 bytes, and a v3
+	// same-record prefix "~<week digits> " tops out near 21, so building
+	// either here never allocates per record.
 	hdr [24]byte
+
+	// Delta (v3) state. mh sits between gz and f accounting the member in
+	// progress; members accumulates the committed member table; lastN is
+	// the record count at the last member boundary; prev is the per-domain
+	// dictionary the delta encoder diffs against.
+	mh      *memberHasher
+	members []Member
+	lastN   int
+	prev    map[string]Observation
 }
 
 // Pools for the pieces every writer and reader re-creates: gzip
@@ -166,32 +198,45 @@ func newGzipReader(r io.Reader) (*gzip.Reader, error) {
 // Create opens a new observation file, truncating any existing one. The
 // file uses the original unframed v1 encoding — plain gzip JSONL.
 func Create(path string) (*Writer, error) {
-	return createFile(osFS{}, path, false)
+	return createFile(osFS{}, path, FormatPlain)
 }
 
-// createFile opens a new observation file through fsys, framed or not.
-func createFile(fsys FS, path string, framed bool) (*Writer, error) {
+// createFile opens a new observation file through fsys in the given
+// record format.
+func createFile(fsys FS, path string, format int) (*Writer, error) {
 	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	gz := gzwPoolFor(framed).Get().(*gzip.Writer)
-	gz.Reset(f)
+	gz := gzwPoolFor(format).Get().(*gzip.Writer)
 	buf := bufwPool.Get().(*bufio.Writer)
-	buf.Reset(gz)
-	w := &Writer{f: f, gz: gz, buf: buf, framed: framed, open: true}
-	if framed {
+	w := &Writer{f: f, gz: gz, buf: buf, format: format, open: true}
+	switch format {
+	case FormatDelta:
+		w.mh = &memberHasher{}
+		w.mh.Reset(f)
+		gz.Reset(w.mh)
+		w.prev = make(map[string]Observation)
+		w.enc = json.NewEncoder(buf)
+	case FormatFramed:
+		gz.Reset(f)
 		w.enc = json.NewEncoder(&w.scratch)
-	} else {
+	default:
+		gz.Reset(f)
 		w.enc = json.NewEncoder(buf)
 	}
+	buf.Reset(gz)
 	return w, nil
 }
 
-// resumeFile reopens a framed segment at a committed byte offset: the torn
-// tail past the offset is amputated, the record count restored, and the
-// next Write starts a fresh gzip member exactly at the commit boundary.
-func resumeFile(fsys FS, path string, offset int64, count int) (*Writer, error) {
+// resumeFile reopens a segment at a committed byte offset: the torn tail
+// past the offset is amputated, the record count restored, and the next
+// Write starts a fresh gzip member exactly at the commit boundary. A
+// resumed delta writer carries the committed member table forward and
+// starts with an empty domain dictionary, so the first post-resume record
+// of every domain is a full record — the decoder needs no cross-member
+// history beyond what the stream itself establishes.
+func resumeFile(fsys FS, path string, offset int64, count int, format int, members []Member) (*Writer, error) {
 	f, err := fsys.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -210,11 +255,20 @@ func resumeFile(fsys FS, path string, offset int64, count int) (*Writer, error) 
 		_ = f.Close()
 		return nil, fmt.Errorf("store: %s: %w", path, err)
 	}
-	gz := gzwPoolFor(true).Get().(*gzip.Writer)
+	gz := gzwPoolFor(format).Get().(*gzip.Writer)
 	buf := bufwPool.Get().(*bufio.Writer)
 	buf.Reset(gz)
-	w := &Writer{f: f, gz: gz, buf: buf, framed: true, open: false, n: count}
-	w.enc = json.NewEncoder(&w.scratch)
+	w := &Writer{f: f, gz: gz, buf: buf, format: format, open: false, n: count}
+	if format == FormatDelta {
+		w.mh = &memberHasher{}
+		w.mh.Reset(f)
+		w.members = append([]Member(nil), members...)
+		w.lastN = count
+		w.prev = make(map[string]Observation)
+		w.enc = json.NewEncoder(buf)
+	} else {
+		w.enc = json.NewEncoder(&w.scratch)
+	}
 	return w, nil
 }
 
@@ -224,18 +278,30 @@ func (w *Writer) Write(obs Observation) error {
 	if !w.open && w.gz != nil {
 		// First write after a commit (or a resume): start a new gzip
 		// member at the committed boundary.
-		w.gz.Reset(w.f)
+		if w.format == FormatDelta {
+			w.gz.Reset(w.mh)
+		} else {
+			w.gz.Reset(w.f)
+		}
 		w.open = true
 	}
-	if !w.framed {
-		if err := w.enc.Encode(obs); err != nil {
-			return err
-		}
-		w.n++
-		return nil
+	switch w.format {
+	case FormatFramed:
+		return w.writeFramed(obs)
+	case FormatDelta:
+		return w.writeDelta(obs)
 	}
-	// Framed: encode to the scratch buffer first so the frame header can
-	// carry the record's exact length and FNV-1a checksum.
+	if err := w.enc.Encode(obs); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// writeFramed appends a v2 record: the observation is encoded to the
+// scratch buffer first so the frame header can carry the record's exact
+// length and FNV-1a checksum.
+func (w *Writer) writeFramed(obs Observation) error {
 	w.scratch.Reset()
 	if err := w.enc.Encode(obs); err != nil {
 		return err
@@ -257,6 +323,55 @@ func (w *Writer) Write(obs Observation) error {
 	return nil
 }
 
+// writeDelta appends a v3 record, diffing against the domain's previous
+// observation. The common longitudinal case — a page unchanged since last
+// week — emits a "~<week> <domain>" line without touching encoding/json;
+// a changed page emits only its changed fields; a first sighting (or the
+// first record after a resume reset the dictionary) emits a full record.
+// The dictionary entry is only updated when the observation changed, so
+// the fast path stays allocation-free.
+func (w *Writer) writeDelta(obs Observation) error {
+	prev, seen := w.prev[obs.Domain]
+	switch {
+	case seen && obs.Week >= 0 && obs.Week <= 1<<30 &&
+		sameExceptWeek(&prev, &obs) && domainInline(obs.Domain):
+		// The raw line encoding carries only non-negative in-range weeks
+		// and newline-free domains; anything else (hostile or test input,
+		// not real crawl data) takes the JSON-escaped delta path below.
+		hdr := append(w.hdr[:0], sameMark)
+		hdr = strconv.AppendInt(hdr, int64(obs.Week), 10)
+		hdr = append(hdr, ' ')
+		if _, err := w.buf.Write(hdr); err != nil {
+			return err
+		}
+		if _, err := w.buf.WriteString(obs.Domain); err != nil {
+			return err
+		}
+		if err := w.buf.WriteByte('\n'); err != nil {
+			return err
+		}
+	case seen:
+		d := diffObs(&prev, &obs)
+		if err := w.buf.WriteByte(deltaMark); err != nil {
+			return err
+		}
+		if err := w.enc.Encode(&d); err != nil {
+			return err
+		}
+		w.prev[obs.Domain] = canonObs(obs).Clone()
+	default:
+		if err := w.buf.WriteByte(fullMark); err != nil {
+			return err
+		}
+		if err := w.enc.Encode(obs); err != nil {
+			return err
+		}
+		w.prev[obs.Domain] = canonObs(obs).Clone()
+	}
+	w.n++
+	return nil
+}
+
 // Count returns the number of observations written so far.
 func (w *Writer) Count() int { return w.n }
 
@@ -270,16 +385,33 @@ func (w *Writer) commit() (int64, error) {
 	if err := w.buf.Flush(); err != nil {
 		return 0, err
 	}
-	if w.open {
-		if err := w.gz.Close(); err != nil {
-			return 0, err
-		}
-		w.open = false
+	if err := w.finishMember(); err != nil {
+		return 0, err
 	}
 	if err := w.f.Sync(); err != nil {
 		return 0, err
 	}
 	return w.f.Seek(0, io.SeekCurrent)
+}
+
+// finishMember closes the gzip member in progress, if any. For a delta
+// writer this is also the checksum boundary: the member's compressed
+// length, FNV-1a sum, and record count are appended to the member table
+// and the hasher restarts for the next member.
+func (w *Writer) finishMember() error {
+	if !w.open {
+		return nil
+	}
+	if err := w.gz.Close(); err != nil {
+		return err
+	}
+	w.open = false
+	if w.format == FormatDelta {
+		w.members = append(w.members, Member{Len: w.mh.n, Sum: w.mh.sum, Records: w.n - w.lastN})
+		w.lastN = w.n
+		w.mh.Reset(w.f)
+	}
+	return nil
 }
 
 // Close flushes and closes the file. Closing (or aborting) twice is a
@@ -296,10 +428,7 @@ func (w *Writer) Close() error {
 		}
 	}
 	keep(w.buf.Flush())
-	if w.open {
-		keep(w.gz.Close())
-		w.open = false
-	}
+	keep(w.finishMember())
 	keep(w.f.Close())
 	w.recycle()
 	return first
@@ -312,15 +441,17 @@ func (w *Writer) recycle() {
 		w.buf = nil
 	}
 	if w.gz != nil {
-		gzwPoolFor(w.framed).Put(w.gz)
+		gzwPoolFor(w.format).Put(w.gz)
 		w.gz = nil
 	}
 }
 
-// gzwPoolFor picks the compressor pool matching a writer's encoding: v1
-// plain writers use the default level, framed v2 writers BestSpeed.
-func gzwPoolFor(framed bool) *sync.Pool {
-	if framed {
+// gzwPoolFor picks the compressor pool matching a writer's encoding: v2
+// framed writers compress at BestSpeed (their checksum frames poison the
+// level-6 match search), v1 and v3 at the default level — v3's delta
+// streams are pure repetitive text, exactly what level 6 rewards.
+func gzwPoolFor(format int) *sync.Pool {
+	if format == FormatFramed {
 		return &gzwFastPool
 	}
 	return &gzwPool
@@ -347,17 +478,22 @@ func (w *Writer) abort() error {
 // segment order. Read-side failures (missing file, truncated or corrupt
 // gzip, malformed JSON) come back wrapped with a "store:" prefix naming
 // the file; fn's own errors pass through unwrapped.
+//
+// Every ForEach path shares one pooled decoder: the Observation handed to
+// fn reuses its Libs/Flash backing between calls, so fn must consume it
+// before returning — a callback that retains an observation must keep
+// obs.Clone(), not obs.
 func ForEach(path string, fn func(Observation) error) error {
 	if IsSegmented(path) {
 		return ForEachSegmented(path, fn)
 	}
-	return forEachFile(path, false, fn)
+	return forEachFile(path, fn)
 }
 
-// forEachFile scans one gzip JSONL file. With reuse set, the Observation
-// handed to fn shares its Libs backing array with the previous call — fn
-// must not retain it (the no-retain fast path of the parallel readers).
-func forEachFile(path string, reuse bool, fn func(Observation) error) error {
+// forEachFile scans one gzip JSONL file with the pooled decoder. The
+// Observation handed to fn shares its Libs backing array with the
+// previous call — fn must not retain it without Clone.
+func forEachFile(path string, fn func(Observation) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -368,7 +504,7 @@ func forEachFile(path string, reuse bool, fn func(Observation) error) error {
 		return fmt.Errorf("store: %s: %w", path, err)
 	}
 	defer gzrPool.Put(gz)
-	return decodeStream(gz, path, reuse, fn)
+	return decodeStream(gz, path, fn)
 }
 
 // frameMark is the first byte of a v2 record frame header. JSON records
@@ -502,18 +638,18 @@ func (fr *frameReader) next() {
 // allocation and ~300 B per record at archive-replay volume). The decoder
 // only ever buffers whole verified records, so a frame error still
 // surfaces after exactly the valid record prefix has been delivered.
-func decodeFramed(br *bufio.Reader, path string, reuse bool, fn func(Observation) error) error {
+func decodeFramed(br *bufio.Reader, path string, fn func(Observation) error) error {
 	fr := &frameReader{br: br, path: path}
 	dec := json.NewDecoder(fr)
 	var obs Observation
 	for {
-		if reuse {
-			libs := obs.Libs[:cap(obs.Libs)]
-			clear(libs)
-			obs = Observation{Libs: libs[:0]}
-		} else {
-			obs = Observation{}
-		}
+		// Keep the Libs capacity; json.Decode refills it in place. The
+		// reused slots must be zeroed first: decoding merges into existing
+		// elements, so a field omitted by omitempty would otherwise keep
+		// the previous record's value.
+		libs := obs.Libs[:cap(obs.Libs)]
+		clear(libs)
+		obs = Observation{Libs: libs[:0]}
 		if err := dec.Decode(&obs); err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
@@ -531,14 +667,14 @@ func decodeFramed(br *bufio.Reader, path string, reuse bool, fn func(Observation
 
 // decodeStream decodes one gzip-decompressed JSONL stream, sniffing the
 // encoding from its first byte: '#' selects the framed v2 decoder (every
-// record checksum-verified), anything else the original plain JSONL
-// decoder — so v1 stores written before framing keep reading byte-
-// identically. Decode-side errors are wrapped with the store prefix and
-// path; callback errors are returned as-is. A stream cut mid-observation
-// (truncated gzip footer, severed connection) surfaces as
-// io.ErrUnexpectedEOF inside the wrap, so callers can distinguish
-// corruption from a clean end of stream.
-func decodeStream(r io.Reader, path string, reuse bool, fn func(Observation) error) error {
+// record checksum-verified), '='/'~'/'^' the delta v3 decoder, anything
+// else the original plain JSONL decoder — so stores written before
+// framing or deltas keep reading byte-identically. Decode-side errors are
+// wrapped with the store prefix and path; callback errors are returned
+// as-is. A stream cut mid-observation (truncated gzip footer, severed
+// connection) surfaces as io.ErrUnexpectedEOF inside the wrap, so callers
+// can distinguish corruption from a clean end of stream.
+func decodeStream(r io.Reader, path string, fn func(Observation) error) error {
 	br := bufrPool.Get().(*bufio.Reader)
 	br.Reset(r)
 	defer bufrPool.Put(br)
@@ -548,22 +684,20 @@ func decodeStream(r io.Reader, path string, reuse bool, fn func(Observation) err
 		}
 		return fmt.Errorf("store: %s: corrupt stream: %w", path, err)
 	} else if first[0] == frameMark {
-		return decodeFramed(br, path, reuse, fn)
+		return decodeFramed(br, path, fn)
+	} else if first[0] == fullMark || first[0] == sameMark || first[0] == deltaMark {
+		return decodeDelta(br, path, fn)
 	}
 	dec := json.NewDecoder(br)
 	var obs Observation
 	for {
-		if reuse {
-			// Keep the Libs capacity; json.Decode refills it in place.
-			// The reused slots must be zeroed first: decoding merges into
-			// existing elements, so a field omitted by omitempty would
-			// otherwise keep the previous record's value.
-			libs := obs.Libs[:cap(obs.Libs)]
-			clear(libs)
-			obs = Observation{Libs: libs[:0]}
-		} else {
-			obs = Observation{}
-		}
+		// Keep the Libs capacity; json.Decode refills it in place. The
+		// reused slots must be zeroed first: decoding merges into existing
+		// elements, so a field omitted by omitempty would otherwise keep
+		// the previous record's value.
+		libs := obs.Libs[:cap(obs.Libs)]
+		clear(libs)
+		obs = Observation{Libs: libs[:0]}
 		if err := dec.Decode(&obs); err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
@@ -577,11 +711,12 @@ func decodeStream(r io.Reader, path string, reuse bool, fn func(Observation) err
 }
 
 // ReadAll loads a whole observation file into memory. Intended for tests
-// and small datasets; large runs should use ForEach.
+// and small datasets; large runs should use ForEach. Each observation is
+// cloned out of the streaming decoder's reused buffers.
 func ReadAll(path string) ([]Observation, error) {
 	var out []Observation
 	err := ForEach(path, func(o Observation) error {
-		out = append(out, o)
+		out = append(out, o.Clone())
 		return nil
 	})
 	return out, err

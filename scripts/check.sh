@@ -29,8 +29,8 @@ go test -run '^$' -fuzz '^FuzzSignatureScan$' -fuzztime "$FUZZTIME" ./internal/f
 # not a measurement, just proof the benchmarks still build, run, and verify
 # their own observation counts (BenchmarkServeAudit additionally reconciles
 # the service's /metrics counters against the load it generated).
-echo "==> bench smoke (store read/write + fingerprint memo + signature scan + serve audit, 1 iteration)"
-go test -run '^$' -bench 'BenchmarkStoreReadSegments|BenchmarkStoreWrite|BenchmarkFingerprintMemo|BenchmarkSignatureScan|BenchmarkServeAudit' \
+echo "==> bench smoke (store read/write/decode + fingerprint memo + signature scan + serve audit, 1 iteration)"
+go test -run '^$' -bench 'BenchmarkStoreReadSegments|BenchmarkStoreDecodeSegment|BenchmarkStoreWrite|BenchmarkFingerprintMemo|BenchmarkSignatureScan|BenchmarkServeAudit' \
 	-benchmem -benchtime 1x .
 
 # Chaos-crawl smoke: an end-to-end cmd/crawl run with fault injection and
@@ -113,6 +113,22 @@ fi
 "$tmp/analyze" -in "$tmp/crash.store" -weeks 60 -domains 80 >"$tmp/crash.report"
 cmp "$tmp/ref.report" "$tmp/crash.report" || {
 	echo "resumed run's report differs from the uninterrupted reference"; exit 1; }
+
+# Cross-version smoke: the same synthetic population written as a v1
+# single-file archive and as a v3 delta segmented store must verify under
+# fsck (which must report the delta format) and replay to byte-identical
+# reports — the on-disk format is an implementation detail the analyses
+# never see.
+echo "==> cross-version smoke (v1 file vs v3 store, fsck + diff reports)"
+go build -o "$tmp/gendata" ./cmd/gendata
+"$tmp/gendata" -domains 60 -weeks 8 -seed 7 -quiet -out "$tmp/xver-v1.jsonl.gz" >/dev/null
+"$tmp/gendata" -domains 60 -weeks 8 -seed 7 -quiet -segments 2 -out "$tmp/xver.store" >/dev/null
+"$tmp/fsck" -store "$tmp/xver.store"
+"$tmp/fsck" -store "$tmp/xver.store" -stats | grep -q 'format v3'
+"$tmp/analyze" -in "$tmp/xver-v1.jsonl.gz" -weeks 8 -domains 60 >"$tmp/xver-v1.report"
+"$tmp/analyze" -in "$tmp/xver.store" -weeks 8 -domains 60 >"$tmp/xver-v3.report"
+cmp "$tmp/xver-v1.report" "$tmp/xver-v3.report" || {
+	echo "v3 store replay differs from the v1 file of the same run"; exit 1; }
 
 # Serve smoke: start the audit service on an ephemeral port, hit /healthz
 # and run one audit, then prove SIGTERM performs a clean graceful stop.
