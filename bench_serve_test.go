@@ -12,6 +12,7 @@ package clientres
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -150,20 +151,144 @@ func BenchmarkServeAudit(b *testing.B) {
 			if total != want {
 				b.Fatalf("server saw %d audit requests, load generator sent %d", total, want)
 			}
-			if hits+misses != total {
-				b.Fatalf("cache hits(%d)+misses(%d) != requests(%d)", hits, misses, total)
-			}
 			if shedQ != 0 || shedR != 0 {
 				b.Fatalf("shed requests: queue=%d rate=%d, want 0", shedQ, shedR)
 			}
 			if mode.cache > 0 {
+				if hits+misses != total {
+					b.Fatalf("cache hits(%d)+misses(%d) != requests(%d)", hits, misses, total)
+				}
 				// Warm steady state: only the first sight of each page misses.
 				if maxMisses := int64(len(pages) + 1); misses > maxMisses {
 					b.Fatalf("warm misses = %d, want ≤ %d", misses, maxMisses)
 				}
+			} else if hits != 0 || misses != 0 {
+				// With the cache disabled there is no cache to hit or miss;
+				// a nonzero counter here is the phantom-miss regression.
+				b.Fatalf("cache counters hits=%d misses=%d with cache disabled, want 0/0", hits, misses)
 			}
 			b.ReportMetric(m[`clientres_http_request_duration_seconds{endpoint="audit",quantile="0.5"}`]*1e9, "p50-ns")
 			b.ReportMetric(m[`clientres_http_request_duration_seconds{endpoint="audit",quantile="0.99"}`]*1e9, "p99-ns")
 		})
 	}
+}
+
+// BenchmarkServeBatch drives POST /v1/audit/batch: each operation streams
+// one NDJSON batch of recordsPerBatch records (with a policy control line)
+// and reads the NDJSON reply. req/s counts records, making the number
+// comparable with BenchmarkServeAudit's one-record-per-request rate. The
+// reconciliation gate is exact: every submitted record must come back as
+// completed, errored, or shed — in both the per-stream summaries and the
+// server's /metrics counters.
+func BenchmarkServeBatch(b *testing.B) {
+	const recordsPerBatch = 16
+	const benchPolicy = `name: bench gate
+rules:
+  - name: stale-high
+    scope: finding
+    when: severity == "high" && age(disclosed) > 90d
+  - name: missing-sri
+    when: missing_sri > 0
+`
+	svc := service.New(service.Config{
+		Workers: 4, QueueDepth: 256, CacheEntries: 4096,
+		Now: func() time.Time { return time.Date(2026, 1, 2, 0, 0, 0, 0, time.UTC) },
+	})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns: 64, MaxIdleConnsPerHost: 64,
+	}}
+	pages := benchPages(32)
+
+	polJSON, err := json.Marshal(benchPolicy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	makeBody := func(start int) string {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, `{"policy":%s}`+"\n", polJSON)
+		for i := 0; i < recordsPerBatch; i++ {
+			pg, _ := json.Marshal(pages[(start+i)%len(pages)])
+			fmt.Fprintf(&sb, `{"html":%s,"host":"bench.test"}`+"\n", pg)
+		}
+		return sb.String()
+	}
+
+	var records, completed, errored, shed atomic.Int64
+	b.ResetTimer()
+	b.SetParallelism(4)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			resp, err := client.Post(ts.URL+"/v1/audit/batch", "application/x-ndjson",
+				strings.NewReader(makeBody(i)))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				b.Errorf("batch status %d err %v", resp.StatusCode, err)
+				return
+			}
+			// The summary is the last NDJSON line; trust it only after
+			// checking the per-record line count matches what we sent.
+			lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+			if len(lines) != recordsPerBatch+1 {
+				b.Errorf("batch reply has %d lines, want %d records + summary", len(lines), recordsPerBatch+1)
+				return
+			}
+			var sum struct {
+				Summary struct {
+					Records, Completed, Errors, Shed int
+				} `json:"summary"`
+			}
+			if err := json.Unmarshal(lines[len(lines)-1], &sum); err != nil {
+				b.Errorf("bad summary line %q", lines[len(lines)-1])
+				return
+			}
+			s := sum.Summary
+			if s.Records != recordsPerBatch || s.Completed+s.Errors != s.Records {
+				b.Errorf("summary does not reconcile: %+v", s)
+				return
+			}
+			records.Add(int64(s.Records))
+			completed.Add(int64(s.Completed))
+			errored.Add(int64(s.Errors))
+			shed.Add(int64(s.Shed))
+			i += recordsPerBatch
+		}
+	})
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(records.Load())/sec, "req/s")
+	}
+
+	// Exact reconciliation: client-side per-stream summaries and the
+	// server's own counters must both account for every record.
+	m := scrapeMetrics(b, client, ts.URL)
+	srvRecords := int64(m[`clientres_batch_records_total{result="completed"}`] +
+		m[`clientres_batch_records_total{result="error"}`])
+	if got := int64(m[`clientres_batch_records_total{result="completed"}`]); got != completed.Load() {
+		b.Fatalf("server completed %d records, client saw %d", got, completed.Load())
+	}
+	if got := int64(m[`clientres_batch_records_total{result="error"}`]); got != errored.Load() {
+		b.Fatalf("server errored %d records, client saw %d", got, errored.Load())
+	}
+	if got := int64(m[`clientres_batch_records_total{result="shed"}`]); got != shed.Load() {
+		b.Fatalf("server shed %d records, client saw %d", got, shed.Load())
+	}
+	if srvRecords != records.Load() {
+		b.Fatalf("server accounted %d records, load generator sent %d", srvRecords, records.Load())
+	}
+	if streams := int64(m[`clientres_batch_streams_total`]); streams != int64(b.N) {
+		b.Fatalf("server saw %d streams, client opened %d", streams, b.N)
+	}
+	if active := int64(m[`clientres_batch_streams_active`]); active != 0 {
+		b.Fatalf("batch active gauge = %d after load, want 0", active)
+	}
+	b.ReportMetric(m[`clientres_http_request_duration_seconds{endpoint="audit_batch",quantile="0.99"}`]*1e9, "p99-ns")
 }

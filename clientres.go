@@ -22,12 +22,14 @@ package clientres
 import (
 	"context"
 	"io"
+	"time"
 
 	"clientres/internal/analysis"
 	"clientres/internal/core"
 	"clientres/internal/crawler"
 	"clientres/internal/fingerprint"
 	"clientres/internal/poclab"
+	"clientres/internal/policy"
 	"clientres/internal/service"
 	"clientres/internal/vulndb"
 	"clientres/internal/webgen"
@@ -250,6 +252,35 @@ func AuditPage(html, pageHost string) AuditReport {
 		rep.InsecureFlash = det.Flash.Always
 	}
 	return rep
+}
+
+// Policy is a compiled audit policy: a list of declarative rules
+// ("fail if any high-severity CVE has been public for over 90 days")
+// evaluated against audit results. See DESIGN.md §14 for the language.
+type Policy = policy.Policy
+
+// PolicyVerdict is the result of evaluating a Policy against one page:
+// per-rule outcomes plus the worst overall ("pass" | "warn" | "fail").
+type PolicyVerdict = policy.Verdict
+
+// PolicyRuleVerdict is one rule's outcome within a PolicyVerdict.
+type PolicyRuleVerdict = policy.RuleVerdict
+
+// CompilePolicy compiles YAML or JSON policy source. Compilation
+// type-checks every rule expression; evaluation cannot fail at runtime.
+func CompilePolicy(src []byte) (*Policy, error) { return policy.Compile(src) }
+
+// EvalPolicy audits html served from pageHost and evaluates pol against
+// the result as of now (zero now means the current time). This is the
+// in-process form of the service's policy gate: for the same page, host,
+// policy, and clock it produces exactly the verdict POST /v1/audit or
+// the batch endpoint would return.
+func EvalPolicy(pol *Policy, html, pageHost string, now time.Time) PolicyVerdict {
+	if now.IsZero() {
+		now = time.Now()
+	}
+	resp := service.Audit(html, pageHost, now)
+	return pol.Eval(resp.PolicyDoc(now))
 }
 
 // ServeConfig parameterizes the online audit service.

@@ -5,21 +5,32 @@
 // segment count equals -shards the replay decodes every segment
 // concurrently straight into its shard's collectors.
 //
+// With -batch it instead runs the offline NDJSON audit path: the same
+// record loop as the service's POST /v1/audit/batch (optionally gated by
+// -policy), emitting byte-identical lines — no server required. The exit
+// code is 1 when any record fails policy or errors, so the mode slots
+// into CI.
+//
 // Usage:
 //
 //	analyze -in observations.jsonl.gz -weeks 201 -domains 20000 -shards 8
 //	analyze -in observations.store -shards 8 -cpuprofile analyze.pprof
+//	analyze -batch pages.ndjson -policy gate.yaml -now 2026-01-02T12:00:00Z
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"time"
 
 	"clientres/internal/core"
+	"clientres/internal/policy"
 	"clientres/internal/prof"
+	"clientres/internal/service"
 	"clientres/internal/store"
 	"clientres/internal/webgen"
 )
@@ -32,7 +43,17 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	bundleScan := flag.Bool("bundle-scan", false, "append a bundle-detection summary: how many library detections came from content signatures vs URLs")
+	batch := flag.String("batch", "", "offline batch-audit mode: NDJSON records file (- for stdin), same protocol as POST /v1/audit/batch")
+	policyFile := flag.String("policy", "", "policy file (YAML or JSON) evaluated against each -batch record")
+	nowFlag := flag.String("now", "", "audit clock as RFC3339 for -batch (default wall clock)")
 	flag.Parse()
+
+	if *batch != "" {
+		os.Exit(runBatch(*batch, *policyFile, *nowFlag))
+	}
+	if *policyFile != "" {
+		log.Fatal("analyze: -policy requires -batch")
+	}
 
 	stopCPU, err := prof.StartCPU(*cpuprofile)
 	if err != nil {
@@ -55,6 +76,59 @@ func main() {
 			log.Fatalf("analyze: %v", err)
 		}
 	}
+}
+
+// runBatch is the offline audit gate: service.RunBatch over a records
+// file, NDJSON out on stdout, summary on stderr. Exit 1 when any record
+// errors or the worst policy verdict is "fail" — the auditsite/CI
+// contract.
+func runBatch(batchPath, policyFile, nowFlag string) int {
+	var pol *policy.Policy
+	if policyFile != "" {
+		src, err := os.ReadFile(policyFile)
+		if err != nil {
+			log.Printf("analyze: %v", err)
+			return 2
+		}
+		if pol, err = policy.Compile(src); err != nil {
+			log.Printf("analyze: policy %s: %v", policyFile, err)
+			return 2
+		}
+	}
+	now := time.Now()
+	if nowFlag != "" {
+		t, err := time.Parse(time.RFC3339, nowFlag)
+		if err != nil {
+			log.Printf("analyze: bad -now: %v", err)
+			return 2
+		}
+		now = t
+	}
+	var r io.Reader = os.Stdin
+	if batchPath != "-" {
+		f, err := os.Open(batchPath)
+		if err != nil {
+			log.Printf("analyze: %v", err)
+			return 2
+		}
+		defer f.Close()
+		r = f
+	}
+	w := bufio.NewWriter(os.Stdout)
+	sum, err := service.RunBatch(r, w, pol, now, 0)
+	if ferr := w.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		log.Printf("analyze: batch: %v", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "batch: %d records, %d completed, %d errors, overall %q\n",
+		sum.Records, sum.Completed, sum.Errors, sum.Overall)
+	if sum.Errors > 0 || sum.Overall == "fail" {
+		return 1
+	}
+	return 0
 }
 
 // writeBundleSummary streams the store a second time and reports how many

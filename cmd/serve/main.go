@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"clientres/internal/crawler"
+	"clientres/internal/policy"
 	"clientres/internal/service"
 )
 
@@ -36,6 +37,8 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	fetchURLs := flag.Bool("fetch", true, "enable {\"url\": ...} audits via the resilient crawler fetch path")
 	fetchTimeout := flag.Duration("fetch-timeout", 10*time.Second, "per-fetch timeout for url audits")
+	policyFile := flag.String("policy", "", "server policy file (YAML or JSON); clients select it with \"policy\":\"server\" or ?policy=server")
+	nowFlag := flag.String("now", "", "pin the audit clock to an RFC3339 instant (deterministic verdicts; default wall clock)")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -45,6 +48,28 @@ func main() {
 		RatePerSec: *rate, Burst: *burst,
 		MaxBodyBytes: *maxBody, DrainTimeout: *drain,
 		Logger: log,
+	}
+	if *policyFile != "" {
+		src, err := os.ReadFile(*policyFile)
+		if err != nil {
+			log.Error("policy", "err", err)
+			os.Exit(1)
+		}
+		pol, err := policy.Compile(src)
+		if err != nil {
+			log.Error("policy", "file", *policyFile, "err", err)
+			os.Exit(1)
+		}
+		cfg.Policy = pol
+		log.Info("policy loaded", "file", *policyFile, "name", pol.Name, "rules", len(pol.Rules))
+	}
+	if *nowFlag != "" {
+		t, err := time.Parse(time.RFC3339, *nowFlag)
+		if err != nil {
+			log.Error("bad -now", "err", err)
+			os.Exit(1)
+		}
+		cfg.Now = func() time.Time { return t }
 	}
 	if *fetchURLs {
 		cr := crawler.New(crawler.Config{

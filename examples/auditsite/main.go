@@ -9,9 +9,12 @@
 // By default the audit runs in-process. With -serve the page is instead
 // POSTed to a running audit service (cmd/serve), which returns the same
 // verdicts plus days-since-patch, and exercises the service's cache and
-// backpressure path:
+// backpressure path. With -policy the audit is additionally gated by a
+// compiled policy file (evaluated in-process, or sent along with the
+// request in -serve mode — both produce identical verdicts), and the
+// process exits 1 when the overall verdict is "fail":
 //
-//	go run ./examples/auditsite [-serve http://127.0.0.1:8080] [page.html [host]]
+//	go run ./examples/auditsite [-serve http://127.0.0.1:8080] [-policy gate.yaml] [page.html [host]]
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"clientres"
 )
@@ -42,6 +46,8 @@ const sample = `<!DOCTYPE html>
 
 func main() {
 	serve := flag.String("serve", "", "base URL of a running cmd/serve instance; empty audits in-process")
+	policyFile := flag.String("policy", "", "policy file (YAML or JSON) gating the audit; exit code 1 when the overall verdict is \"fail\"")
+	nowFlag := flag.String("now", "", "audit clock as RFC3339 for -policy verdicts (default wall clock; in -serve mode the server's clock rules)")
 	flag.Parse()
 
 	html, host := sample, "example.com"
@@ -56,9 +62,37 @@ func main() {
 		host = flag.Arg(1)
 	}
 
-	rep := auditLocal(html, host)
+	var polSrc []byte
+	var pol *clientres.Policy
+	if *policyFile != "" {
+		src, err := os.ReadFile(*policyFile)
+		if err != nil {
+			log.Fatalf("auditsite: %v", err)
+		}
+		if pol, err = clientres.CompilePolicy(src); err != nil {
+			log.Fatalf("auditsite: policy %s: %v", *policyFile, err)
+		}
+		polSrc = src
+	}
+	var now time.Time
+	if *nowFlag != "" {
+		t, err := time.Parse(time.RFC3339, *nowFlag)
+		if err != nil {
+			log.Fatalf("auditsite: bad -now: %v", err)
+		}
+		now = t
+	}
+
+	var rep report
+	var verdict *clientres.PolicyVerdict
 	if *serve != "" {
-		rep = auditRemote(*serve, html, host)
+		rep, verdict = auditRemote(*serve, html, host, polSrc)
+	} else {
+		rep = auditLocal(html, host)
+		if pol != nil {
+			v := clientres.EvalPolicy(pol, html, host, now)
+			verdict = &v
+		}
 	}
 
 	fmt.Printf("detected libraries (%d):\n", len(rep.Libraries))
@@ -93,6 +127,25 @@ func main() {
 		fmt.Println("hygiene: page embeds Adobe Flash (end-of-life since Jan 2021)")
 		if rep.InsecureFlash {
 			fmt.Println("hygiene: AllowScriptAccess is 'always' — cross-origin .swf can script this page")
+		}
+	}
+	if verdict != nil {
+		fmt.Printf("\npolicy %q: %s\n", verdict.Policy, verdict.Overall)
+		for _, rv := range verdict.Rules {
+			line := fmt.Sprintf("  [%s] %s", rv.Outcome, rv.Rule)
+			if rv.Matched > 0 {
+				line += fmt.Sprintf(" (matched %d)", rv.Matched)
+			}
+			if rv.Msg != "" {
+				line += ": " + rv.Msg
+			}
+			fmt.Println(line)
+			for _, d := range rv.Detail {
+				fmt.Printf("      - %s\n", d)
+			}
+		}
+		if verdict.Overall == "fail" {
+			os.Exit(1)
 		}
 	}
 }
@@ -131,10 +184,27 @@ func auditLocal(html, host string) report {
 }
 
 // auditRemote POSTs the page to a running audit service and maps its JSON
-// response onto the same report the in-process path produces.
-func auditRemote(base, html, host string) report {
+// response onto the same report the in-process path produces. When polSrc
+// is set, the policy source travels with the request and the service
+// answers with the {"audit":…,"policy":…} envelope; the returned verdict
+// is the server's.
+func auditRemote(base, html, host string, polSrc []byte) (report, *clientres.PolicyVerdict) {
 	url := strings.TrimRight(base, "/") + "/v1/audit?host=" + host
-	resp, err := http.Post(url, "text/html", strings.NewReader(html))
+	var resp *http.Response
+	var err error
+	if len(polSrc) > 0 {
+		reqBody, merr := json.Marshal(struct {
+			HTML   string `json:"html"`
+			Host   string `json:"host"`
+			Policy string `json:"policy"`
+		}{HTML: html, Host: host, Policy: string(polSrc)})
+		if merr != nil {
+			log.Fatalf("auditsite: encode request: %v", merr)
+		}
+		resp, err = http.Post(url, "application/json", strings.NewReader(string(reqBody)))
+	} else {
+		resp, err = http.Post(url, "text/html", strings.NewReader(html))
+	}
 	if err != nil {
 		log.Fatalf("auditsite: POST %s: %v", url, err)
 	}
@@ -145,6 +215,17 @@ func auditRemote(base, html, host string) report {
 	}
 	if resp.StatusCode != http.StatusOK {
 		log.Fatalf("auditsite: service returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var verdict *clientres.PolicyVerdict
+	if len(polSrc) > 0 {
+		var env struct {
+			Audit  json.RawMessage          `json:"audit"`
+			Policy *clientres.PolicyVerdict `json:"policy"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil || env.Policy == nil {
+			log.Fatalf("auditsite: decode policy envelope: %v", err)
+		}
+		body, verdict = env.Audit, env.Policy
 	}
 	var sr struct {
 		Libraries []struct {
@@ -187,5 +268,5 @@ func auditRemote(base, html, host string) report {
 			PatchDays: f.PatchAvailableDays, PerCVEOnly: f.PerCVEOnly,
 		})
 	}
-	return out
+	return out, verdict
 }

@@ -1,0 +1,561 @@
+package policy
+
+// The policy expression language: a deliberately small, linear-time
+// predicate grammar evaluated against one audit document (or one of its
+// libraries/findings). The design mirrors mcptrust's CEL stance — no
+// user-supplied regular expressions at all, so there is nothing to
+// backtrack catastrophically — but goes further: the only operations are
+// field reads, constant comparisons, substring scans, and duration
+// arithmetic, every one of them O(input) with no allocation on the eval
+// path. Expressions are compiled once (lexer → recursive-descent parser →
+// type-checked AST) and evaluated per record.
+//
+// Grammar:
+//
+//	expr    = or
+//	or      = and { "||" and }
+//	and     = unary { "&&" unary }
+//	unary   = "!" unary | primary
+//	primary = "(" expr ")" | comparison
+//	comparison = operand [ op operand ]
+//	op      = "==" | "!=" | "<" | "<=" | ">" | ">=" | "contains" | "startswith"
+//	operand = field | "age" "(" field ")" | literal
+//	literal = string | number | duration | "true" | "false"
+//
+// Types: string, number, bool, duration, time. Comparisons are
+// type-checked at compile time; a bare bool field is a predicate by
+// itself; `age(f)` turns a time field into the duration since f as of the
+// document's evaluation clock. Duration literals use Go syntax plus a `d`
+// day unit (90d, 12h, 30m). String order comparisons (<, <=, >, >=) are
+// rejected at compile time — byte order on version strings is a trap, and
+// refusing is better than silently lying.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// valueKind tags the static type of an expression node.
+type valueKind int
+
+const (
+	kindInvalid valueKind = iota
+	kindBool
+	kindString
+	kindNumber
+	kindDuration
+	kindTime
+)
+
+func (k valueKind) String() string {
+	switch k {
+	case kindBool:
+		return "bool"
+	case kindString:
+		return "string"
+	case kindNumber:
+		return "number"
+	case kindDuration:
+		return "duration"
+	case kindTime:
+		return "time"
+	}
+	return "invalid"
+}
+
+// value is one evaluated operand. Exactly one field is meaningful,
+// selected by kind.
+type value struct {
+	kind valueKind
+	b    bool
+	s    string
+	n    float64
+	d    time.Duration
+	t    time.Time
+}
+
+// env is the evaluation context: the document plus, for library/finding
+// scoped rules, the current item.
+type env struct {
+	doc *Doc
+	lib *Library
+	fin *Finding
+}
+
+// node is a compiled expression node. All nodes are immutable after
+// compile, so one compiled policy is safe for concurrent evaluation.
+type node interface {
+	eval(e *env) value
+	kind() valueKind
+}
+
+// litNode is a constant.
+type litNode struct{ v value }
+
+func (n *litNode) eval(*env) value { return n.v }
+func (n *litNode) kind() valueKind { return n.v.kind }
+
+// fieldNode reads one document/item field through its resolved accessor.
+type fieldNode struct {
+	name string
+	k    valueKind
+	get  func(e *env) value
+}
+
+func (n *fieldNode) eval(e *env) value { return n.get(e) }
+func (n *fieldNode) kind() valueKind   { return n.k }
+
+// ageNode is age(f): doc.Now minus a time field.
+type ageNode struct{ f *fieldNode }
+
+func (n *ageNode) eval(e *env) value {
+	t := n.f.eval(e).t
+	if t.IsZero() {
+		// A zero date ages to zero, not to "since year 1": rules like
+		// age(disclosed) > 90d must not fire on absent dates.
+		return value{kind: kindDuration}
+	}
+	return value{kind: kindDuration, d: e.doc.Now.Sub(t)}
+}
+func (n *ageNode) kind() valueKind { return kindDuration }
+
+// notNode negates a bool expression.
+type notNode struct{ x node }
+
+func (n *notNode) eval(e *env) value { return value{kind: kindBool, b: !n.x.eval(e).b} }
+func (n *notNode) kind() valueKind   { return kindBool }
+
+// boolOpNode is && / || with short-circuit evaluation.
+type boolOpNode struct {
+	and  bool
+	l, r node
+}
+
+func (n *boolOpNode) eval(e *env) value {
+	l := n.l.eval(e).b
+	if n.and {
+		if !l {
+			return value{kind: kindBool}
+		}
+		return value{kind: kindBool, b: n.r.eval(e).b}
+	}
+	if l {
+		return value{kind: kindBool, b: true}
+	}
+	return value{kind: kindBool, b: n.r.eval(e).b}
+}
+func (n *boolOpNode) kind() valueKind { return kindBool }
+
+// cmpNode compares two operands of one already-checked kind.
+type cmpNode struct {
+	op   string
+	k    valueKind // operand kind, not result kind
+	l, r node
+}
+
+func (n *cmpNode) kind() valueKind { return kindBool }
+
+func (n *cmpNode) eval(e *env) value {
+	l, r := n.l.eval(e), n.r.eval(e)
+	var b bool
+	switch n.op {
+	case "contains":
+		b = strings.Contains(l.s, r.s)
+	case "startswith":
+		b = strings.HasPrefix(l.s, r.s)
+	case "==", "!=":
+		var eq bool
+		switch n.k {
+		case kindString:
+			eq = l.s == r.s
+		case kindNumber:
+			eq = l.n == r.n
+		case kindBool:
+			eq = l.b == r.b
+		case kindDuration:
+			eq = l.d == r.d
+		}
+		b = eq == (n.op == "==")
+	default: // < <= > >= over numbers and durations
+		var lf, rf float64
+		if n.k == kindDuration {
+			lf, rf = float64(l.d), float64(r.d)
+		} else {
+			lf, rf = l.n, r.n
+		}
+		switch n.op {
+		case "<":
+			b = lf < rf
+		case "<=":
+			b = lf <= rf
+		case ">":
+			b = lf > rf
+		case ">=":
+			b = lf >= rf
+		}
+	}
+	return value{kind: kindBool, b: b}
+}
+
+// ---- lexer ----
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokDuration
+	tokOp // == != < <= > >= && || ! ( )
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	dur  time.Duration
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// maxExprLen bounds a single expression; inline client policies go through
+// this, so it doubles as an abuse cap.
+const maxExprLen = 4096
+
+func lex(src string) ([]token, error) {
+	if len(src) > maxExprLen {
+		return nil, fmt.Errorf("expression longer than %d bytes", maxExprLen)
+	}
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '"' || c == '\'':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case c >= '0' && c <= '9':
+			if err := l.lexNumberOrDuration(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			switch word {
+			case "contains", "startswith":
+				l.toks = append(l.toks, token{kind: tokOp, text: word, pos: start})
+			default:
+				l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		default:
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: len(src)})
+	return l.toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.'
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			c = l.src[l.pos]
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("unterminated string at offset %d", start)
+}
+
+func (l *lexer) lexNumberOrDuration() error {
+	start := l.pos
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	numEnd := l.pos
+	// A trailing unit makes it a duration: d, h, m, s, ms, us, ns.
+	for l.pos < len(l.src) && (l.src[l.pos] >= 'a' && l.src[l.pos] <= 'z') {
+		l.pos++
+	}
+	if unit := l.src[numEnd:l.pos]; unit != "" {
+		d, err := parseDuration(l.src[start:numEnd], unit)
+		if err != nil {
+			return fmt.Errorf("bad duration %q at offset %d: %v", l.src[start:l.pos], start, err)
+		}
+		l.toks = append(l.toks, token{kind: tokDuration, dur: d, text: l.src[start:l.pos], pos: start})
+		return nil
+	}
+	n, err := strconv.ParseFloat(l.src[start:numEnd], 64)
+	if err != nil {
+		return fmt.Errorf("bad number %q at offset %d", l.src[start:numEnd], start)
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, num: n, text: l.src[start:numEnd], pos: start})
+	return nil
+}
+
+// parseDuration handles Go units plus "d" (days, 24h — policy rules speak
+// in days; the paper's windows are day-denominated).
+func parseDuration(num, unit string) (time.Duration, error) {
+	if unit == "d" {
+		f, err := strconv.ParseFloat(num, 64)
+		if err != nil {
+			return 0, err
+		}
+		return time.Duration(f * 24 * float64(time.Hour)), nil
+	}
+	return time.ParseDuration(num + unit)
+}
+
+func (l *lexer) lexOp() error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "==", "!=", "<=", ">=", "&&", "||":
+		l.toks = append(l.toks, token{kind: tokOp, text: two, pos: l.pos})
+		l.pos += 2
+		return nil
+	}
+	switch c := l.src[l.pos]; c {
+	case '<', '>', '!', '(', ')':
+		l.toks = append(l.toks, token{kind: tokOp, text: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	default:
+		return fmt.Errorf("unexpected character %q at offset %d", string(c), l.pos)
+	}
+}
+
+// ---- parser ----
+
+type parser struct {
+	toks   []token
+	i      int
+	fields map[string]fieldSpec
+}
+
+type fieldSpec struct {
+	k   valueKind
+	get func(e *env) value
+}
+
+func compileExpr(src string, fields map[string]fieldSpec) (node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, fields: fields}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("unexpected %q at offset %d", p.cur().text, p.cur().pos)
+	}
+	if n.kind() != kindBool {
+		return nil, fmt.Errorf("expression is %s, not a predicate", n.kind())
+	}
+	return n, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) accept(text string) bool {
+	if p.cur().kind == tokOp && p.cur().text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") {
+		if l.kind() != kindBool {
+			return nil, fmt.Errorf("left of || is %s, want bool", l.kind())
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		if r.kind() != kindBool {
+			return nil, fmt.Errorf("right of || is %s, want bool", r.kind())
+		}
+		l = &boolOpNode{and: false, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") {
+		if l.kind() != kindBool {
+			return nil, fmt.Errorf("left of && is %s, want bool", l.kind())
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if r.kind() != kindBool {
+			return nil, fmt.Errorf("right of && is %s, want bool", r.kind())
+		}
+		l = &boolOpNode{and: true, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (node, error) {
+	if p.accept("!") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if x.kind() != kindBool {
+			return nil, fmt.Errorf("! applies to bool, not %s", x.kind())
+		}
+		return &notNode{x: x}, nil
+	}
+	if p.accept("(") {
+		x, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(")") {
+			return nil, fmt.Errorf("missing ) at offset %d", p.cur().pos)
+		}
+		return x, nil
+	}
+	return p.parseComparison()
+}
+
+var cmpOps = map[string]bool{
+	"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true,
+	"contains": true, "startswith": true,
+}
+
+func (p *parser) parseComparison() (node, error) {
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind != tokOp || !cmpOps[t.text] {
+		// A bare operand: only bool fields stand alone.
+		return l, nil
+	}
+	p.i++
+	r, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	lk, rk := l.kind(), r.kind()
+	if lk != rk {
+		return nil, fmt.Errorf("cannot compare %s with %s near offset %d", lk, rk, t.pos)
+	}
+	switch t.text {
+	case "contains", "startswith":
+		if lk != kindString {
+			return nil, fmt.Errorf("%s applies to strings, not %s", t.text, lk)
+		}
+	case "<", "<=", ">", ">=":
+		if lk != kindNumber && lk != kindDuration {
+			return nil, fmt.Errorf("%s applies to numbers and durations, not %s (version strings do not order bytewise)", t.text, lk)
+		}
+	default: // == !=
+		if lk == kindTime {
+			return nil, fmt.Errorf("compare times via age(), not directly")
+		}
+	}
+	return &cmpNode{op: t.text, k: lk, l: l, r: r}, nil
+}
+
+func (p *parser) parseOperand() (node, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokString:
+		p.i++
+		return &litNode{v: value{kind: kindString, s: t.text}}, nil
+	case tokNumber:
+		p.i++
+		return &litNode{v: value{kind: kindNumber, n: t.num}}, nil
+	case tokDuration:
+		p.i++
+		return &litNode{v: value{kind: kindDuration, d: t.dur}}, nil
+	case tokIdent:
+		p.i++
+		switch t.text {
+		case "true":
+			return &litNode{v: value{kind: kindBool, b: true}}, nil
+		case "false":
+			return &litNode{v: value{kind: kindBool}}, nil
+		case "age":
+			if !p.accept("(") {
+				return nil, fmt.Errorf("age requires (field) at offset %d", t.pos)
+			}
+			ft := p.cur()
+			if ft.kind != tokIdent {
+				return nil, fmt.Errorf("age() wants a field name at offset %d", ft.pos)
+			}
+			p.i++
+			if !p.accept(")") {
+				return nil, fmt.Errorf("missing ) after age(%s", ft.text)
+			}
+			f, err := p.resolveField(ft)
+			if err != nil {
+				return nil, err
+			}
+			if f.k != kindTime {
+				return nil, fmt.Errorf("age(%s): field is %s, want a date", ft.text, f.k)
+			}
+			return &ageNode{f: f}, nil
+		}
+		return p.resolveField(t)
+	}
+	return nil, fmt.Errorf("unexpected %q at offset %d", t.text, t.pos)
+}
+
+func (p *parser) resolveField(t token) (*fieldNode, error) {
+	spec, ok := p.fields[t.text]
+	if !ok {
+		return nil, fmt.Errorf("unknown field %q in this scope at offset %d", t.text, t.pos)
+	}
+	return &fieldNode{name: t.text, k: spec.k, get: spec.get}, nil
+}

@@ -1,0 +1,357 @@
+// Package policy is the declarative audit-verdict engine: a client (or a
+// server operator) ships a small list of rules, each a predicate over one
+// audit result, and the engine returns a per-rule pass/warn/fail verdict
+// plus an overall exit verdict — the piece that turns an audit blob into a
+// CI-pluggable yes/no. The shape follows mcptrust's CEL policy layer
+// (SNIPPETS.md snippet 2) scoped down to the paper's per-site framing:
+// one page, one verdict.
+//
+// A policy file is YAML (a fixed flat subset, parsed here — the repo takes
+// no dependencies) or JSON:
+//
+//	name: ci gate
+//	rules:
+//	  - name: stale-high
+//	    level: fail            # fail (default) | warn
+//	    scope: finding         # page (default) | library | finding
+//	    when: severity == "high" && age(disclosed) > 90d
+//	    msg: a high-severity advisory has been public for over 90 days
+//
+// Rules scoped `library` or `finding` trigger when ANY item matches;
+// `page` rules evaluate once against the document. Evaluation is
+// deterministic: the same document (including its audit clock) always
+// produces byte-identical verdict JSON, which is what lets the online,
+// batch, and offline paths prove equivalence.
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Library is one detected library inclusion, as the policy engine sees it.
+type Library struct {
+	Slug         string
+	Known        bool
+	Version      string
+	External     bool
+	Host         string
+	SRI          bool
+	Crossorigin  string
+	Discontinued bool
+}
+
+// Finding is one matched advisory, as the policy engine sees it.
+type Finding struct {
+	Library            string
+	Version            string
+	Advisory           string
+	Attack             string
+	Severity           string
+	Disclosed          time.Time
+	FixedIn            string
+	PatchAvailableDays int
+	PerCVEOnly         bool
+	Conditional        bool
+}
+
+// Doc is the evaluation input: one audit result plus the audit clock.
+// Callers build it from an AuditResponse; the engine never sees HTML.
+type Doc struct {
+	Host          string
+	Libraries     []Library
+	Findings      []Finding
+	VulnerableTVV bool
+	VulnerableCVE bool
+	MissingSRI    int
+	ScriptCount   int
+	UsesFlash     bool
+	InsecureFlash bool
+	WordPress     string
+	// Now is the evaluation clock age() measures against — the same
+	// instant the audit itself used, so verdicts are a pure function of
+	// the audit inputs.
+	Now time.Time
+}
+
+// Rule is one compiled policy rule.
+type Rule struct {
+	Name  string
+	Level string // "fail" | "warn"
+	Scope string // "page" | "library" | "finding"
+	When  string
+	Msg   string
+	expr  node
+}
+
+// Policy is a compiled, immutable rule list, safe for concurrent Eval.
+type Policy struct {
+	Name  string
+	Rules []*Rule
+}
+
+// RuleVerdict is one rule's outcome on one document.
+type RuleVerdict struct {
+	Rule    string `json:"rule"`
+	Level   string `json:"level"`
+	Outcome string `json:"outcome"` // "pass" | "warn" | "fail"
+	// Matched counts scope items the predicate selected (0 or 1 for page
+	// rules); Detail names up to maxDetail of them.
+	Matched int      `json:"matched,omitempty"`
+	Detail  []string `json:"detail,omitempty"`
+	Msg     string   `json:"msg,omitempty"`
+}
+
+// Verdict is a policy's full result on one document.
+type Verdict struct {
+	Policy string `json:"policy,omitempty"`
+	// Overall is the exit verdict: "fail" if any fail-level rule
+	// triggered, else "warn" if any warn-level rule triggered, else
+	// "pass".
+	Overall string        `json:"overall"`
+	Rules   []RuleVerdict `json:"rules"`
+}
+
+// Compile limits: enough for real gates, small enough that an inline
+// policy from an untrusted client cannot become a resource sink.
+const (
+	MaxSourceBytes = 64 << 10
+	maxRules       = 64
+	maxDetail      = 8
+)
+
+// rawPolicy is the wire/file shape before expression compilation.
+type rawPolicy struct {
+	Name  string    `json:"name"`
+	Rules []rawRule `json:"rules"`
+}
+
+type rawRule struct {
+	Name  string `json:"name"`
+	Level string `json:"level"`
+	Scope string `json:"scope"`
+	When  string `json:"when"`
+	Msg   string `json:"msg"`
+}
+
+// Compile parses and type-checks a policy from YAML-subset or JSON source.
+func Compile(src []byte) (*Policy, error) {
+	if len(src) > MaxSourceBytes {
+		return nil, fmt.Errorf("policy: source larger than %d bytes", MaxSourceBytes)
+	}
+	trimmed := strings.TrimSpace(string(src))
+	if trimmed == "" {
+		return nil, fmt.Errorf("policy: empty source")
+	}
+	var raw rawPolicy
+	var err error
+	if trimmed[0] == '{' {
+		err = json.Unmarshal([]byte(trimmed), &raw)
+	} else {
+		raw, err = parseYAMLSubset(trimmed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("policy: %v", err)
+	}
+	return compileRaw(raw)
+}
+
+func compileRaw(raw rawPolicy) (*Policy, error) {
+	if len(raw.Rules) == 0 {
+		return nil, fmt.Errorf("policy: no rules")
+	}
+	if len(raw.Rules) > maxRules {
+		return nil, fmt.Errorf("policy: %d rules exceeds the %d-rule cap", len(raw.Rules), maxRules)
+	}
+	p := &Policy{Name: raw.Name}
+	seen := make(map[string]bool, len(raw.Rules))
+	for i, rr := range raw.Rules {
+		r := &Rule{
+			Name: rr.Name, Level: rr.Level, Scope: rr.Scope,
+			When: strings.TrimSpace(rr.When), Msg: rr.Msg,
+		}
+		if r.Name == "" {
+			r.Name = fmt.Sprintf("rule-%d", i+1)
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("policy: duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+		switch r.Level {
+		case "":
+			r.Level = "fail"
+		case "fail", "warn":
+		default:
+			return nil, fmt.Errorf("policy: rule %q: level %q (want fail or warn)", r.Name, rr.Level)
+		}
+		fields, ok := scopeFields[r.Scope]
+		if r.Scope == "" {
+			r.Scope, fields, ok = "page", scopeFields["page"], true
+		}
+		if !ok {
+			return nil, fmt.Errorf("policy: rule %q: scope %q (want page, library, or finding)", r.Name, rr.Scope)
+		}
+		if r.When == "" {
+			return nil, fmt.Errorf("policy: rule %q: missing when expression", r.Name)
+		}
+		expr, err := compileExpr(r.When, fields)
+		if err != nil {
+			return nil, fmt.Errorf("policy: rule %q: %v", r.Name, err)
+		}
+		r.expr = expr
+		p.Rules = append(p.Rules, r)
+	}
+	return p, nil
+}
+
+// Eval runs every rule against doc. The result is deterministic: rules
+// evaluate in declaration order, items in document order.
+func (p *Policy) Eval(doc *Doc) Verdict {
+	v := Verdict{Policy: p.Name, Overall: "pass", Rules: make([]RuleVerdict, 0, len(p.Rules))}
+	for _, r := range p.Rules {
+		rv := RuleVerdict{Rule: r.Name, Level: r.Level, Outcome: "pass"}
+		e := env{doc: doc}
+		switch r.Scope {
+		case "page":
+			if r.expr.eval(&e).b {
+				rv.Matched = 1
+			}
+		case "library":
+			for i := range doc.Libraries {
+				e.lib = &doc.Libraries[i]
+				if r.expr.eval(&e).b {
+					rv.Matched++
+					if len(rv.Detail) < maxDetail {
+						rv.Detail = append(rv.Detail, libLabel(e.lib))
+					}
+				}
+			}
+		case "finding":
+			for i := range doc.Findings {
+				e.fin = &doc.Findings[i]
+				if r.expr.eval(&e).b {
+					rv.Matched++
+					if len(rv.Detail) < maxDetail {
+						rv.Detail = append(rv.Detail, findingLabel(e.fin))
+					}
+				}
+			}
+		}
+		if rv.Matched > 0 {
+			rv.Outcome = r.Level
+			rv.Msg = r.Msg
+			if r.Level == "fail" {
+				v.Overall = "fail"
+			} else if v.Overall == "pass" {
+				v.Overall = "warn"
+			}
+		}
+		v.Rules = append(v.Rules, rv)
+	}
+	return v
+}
+
+func libLabel(l *Library) string {
+	label := l.Slug
+	if l.Version != "" {
+		label += "@" + l.Version
+	}
+	return label
+}
+
+func findingLabel(f *Finding) string {
+	label := f.Library
+	if f.Version != "" {
+		label += "@" + f.Version
+	}
+	return label + " " + f.Advisory
+}
+
+// scopeFields maps each rule scope to its resolvable fields. Library and
+// finding scopes also expose the page-level fields under a "page." prefix,
+// so a rule can mix item and document conditions.
+var scopeFields = map[string]map[string]fieldSpec{
+	"page":    pageFields(""),
+	"library": merge(libraryFields(), pageFields("page.")),
+	"finding": merge(findingFields(), pageFields("page.")),
+}
+
+func merge(maps ...map[string]fieldSpec) map[string]fieldSpec {
+	out := make(map[string]fieldSpec)
+	for _, m := range maps {
+		for k, v := range m {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func pageFields(prefix string) map[string]fieldSpec {
+	str := func(get func(d *Doc) string) fieldSpec {
+		return fieldSpec{k: kindString, get: func(e *env) value { return value{kind: kindString, s: get(e.doc)} }}
+	}
+	num := func(get func(d *Doc) int) fieldSpec {
+		return fieldSpec{k: kindNumber, get: func(e *env) value { return value{kind: kindNumber, n: float64(get(e.doc))} }}
+	}
+	boo := func(get func(d *Doc) bool) fieldSpec {
+		return fieldSpec{k: kindBool, get: func(e *env) value { return value{kind: kindBool, b: get(e.doc)} }}
+	}
+	return map[string]fieldSpec{
+		prefix + "host":           str(func(d *Doc) string { return d.Host }),
+		prefix + "wordpress":      str(func(d *Doc) string { return d.WordPress }),
+		prefix + "missing_sri":    num(func(d *Doc) int { return d.MissingSRI }),
+		prefix + "script_count":   num(func(d *Doc) int { return d.ScriptCount }),
+		prefix + "libraries":      num(func(d *Doc) int { return len(d.Libraries) }),
+		prefix + "findings":       num(func(d *Doc) int { return len(d.Findings) }),
+		prefix + "vulnerable_tvv": boo(func(d *Doc) bool { return d.VulnerableTVV }),
+		prefix + "vulnerable_cve": boo(func(d *Doc) bool { return d.VulnerableCVE }),
+		prefix + "uses_flash":     boo(func(d *Doc) bool { return d.UsesFlash }),
+		prefix + "insecure_flash": boo(func(d *Doc) bool { return d.InsecureFlash }),
+	}
+}
+
+func libraryFields() map[string]fieldSpec {
+	str := func(get func(l *Library) string) fieldSpec {
+		return fieldSpec{k: kindString, get: func(e *env) value { return value{kind: kindString, s: get(e.lib)} }}
+	}
+	boo := func(get func(l *Library) bool) fieldSpec {
+		return fieldSpec{k: kindBool, get: func(e *env) value { return value{kind: kindBool, b: get(e.lib)} }}
+	}
+	return map[string]fieldSpec{
+		"slug":         str(func(l *Library) string { return l.Slug }),
+		"version":      str(func(l *Library) string { return l.Version }),
+		"host":         str(func(l *Library) string { return l.Host }),
+		"crossorigin":  str(func(l *Library) string { return l.Crossorigin }),
+		"known":        boo(func(l *Library) bool { return l.Known }),
+		"external":     boo(func(l *Library) bool { return l.External }),
+		"sri":          boo(func(l *Library) bool { return l.SRI }),
+		"discontinued": boo(func(l *Library) bool { return l.Discontinued }),
+	}
+}
+
+func findingFields() map[string]fieldSpec {
+	str := func(get func(f *Finding) string) fieldSpec {
+		return fieldSpec{k: kindString, get: func(e *env) value { return value{kind: kindString, s: get(e.fin)} }}
+	}
+	boo := func(get func(f *Finding) bool) fieldSpec {
+		return fieldSpec{k: kindBool, get: func(e *env) value { return value{kind: kindBool, b: get(e.fin)} }}
+	}
+	return map[string]fieldSpec{
+		"library":  str(func(f *Finding) string { return f.Library }),
+		"version":  str(func(f *Finding) string { return f.Version }),
+		"advisory": str(func(f *Finding) string { return f.Advisory }),
+		"attack":   str(func(f *Finding) string { return f.Attack }),
+		"severity": str(func(f *Finding) string { return f.Severity }),
+		"fixed_in": str(func(f *Finding) string { return f.FixedIn }),
+		"disclosed": {k: kindTime, get: func(e *env) value {
+			return value{kind: kindTime, t: e.fin.Disclosed}
+		}},
+		"patch_available_days": {k: kindNumber, get: func(e *env) value {
+			return value{kind: kindNumber, n: float64(e.fin.PatchAvailableDays)}
+		}},
+		"per_cve_only": boo(func(f *Finding) bool { return f.PerCVEOnly }),
+		"conditional":  boo(func(f *Finding) bool { return f.Conditional }),
+	}
+}

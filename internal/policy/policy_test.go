@@ -1,0 +1,320 @@
+package policy
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+var testNow = time.Date(2026, time.January, 2, 12, 0, 0, 0, time.UTC)
+
+// testDoc models the paper's headline bad page: outdated jQuery with a
+// long-public high-severity advisory, an external versionless script, a
+// discontinued library, and Flash.
+func testDoc() *Doc {
+	return &Doc{
+		Host: "example.com",
+		Libraries: []Library{
+			{Slug: "jquery", Known: true, Version: "1.12.4", External: true, Host: "code.jquery.com"},
+			{Slug: "swfobject", Known: true, Version: "2.2", Discontinued: true},
+			{Slug: "unknownlib", External: true, Host: "cdn.example.net"},
+		},
+		Findings: []Finding{
+			{
+				Library: "jquery", Version: "1.12.4", Advisory: "CVE-2020-11023",
+				Attack: "XSS", Severity: "high",
+				Disclosed:          time.Date(2020, 4, 29, 0, 0, 0, 0, time.UTC),
+				FixedIn:            "3.5.0",
+				PatchAvailableDays: 2074,
+			},
+			{
+				Library: "jquery", Version: "1.12.4", Advisory: "CVE-2015-9251",
+				Attack: "XSS", Severity: "high",
+				Disclosed: time.Date(2018, 1, 18, 0, 0, 0, 0, time.UTC),
+				FixedIn:   "3.0.0",
+			},
+		},
+		VulnerableTVV: true,
+		VulnerableCVE: true,
+		MissingSRI:    2,
+		ScriptCount:   4,
+		UsesFlash:     true,
+		InsecureFlash: true,
+		Now:           testNow,
+	}
+}
+
+// ciGateYAML exercises every motivating rule from the issue plus scope
+// mixing and warn levels.
+const ciGateYAML = `
+# The CI gate the issue sketches.
+name: ci gate
+rules:
+  - name: stale-high
+    level: fail
+    scope: finding
+    when: severity == "high" && age(disclosed) > 90d
+    msg: a high-severity advisory has had the fix out for over 90 days
+  - name: versionless-external
+    level: fail
+    scope: library
+    when: external && version == ""
+  - name: discontinued
+    level: warn
+    scope: library
+    when: discontinued
+  - name: flash
+    level: warn
+    when: uses_flash
+`
+
+func TestCompileAndEvalYAML(t *testing.T) {
+	p, err := Compile([]byte(ciGateYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "ci gate" || len(p.Rules) != 4 {
+		t.Fatalf("policy = %+v", p)
+	}
+	v := p.Eval(testDoc())
+	if v.Overall != "fail" {
+		t.Fatalf("overall = %q, want fail: %+v", v.Overall, v)
+	}
+	byName := map[string]RuleVerdict{}
+	for _, rv := range v.Rules {
+		byName[rv.Rule] = rv
+	}
+	if rv := byName["stale-high"]; rv.Outcome != "fail" || rv.Matched != 2 {
+		t.Errorf("stale-high = %+v, want fail with 2 matches", rv)
+	}
+	if rv := byName["stale-high"]; len(rv.Detail) != 2 || rv.Detail[0] != "jquery@1.12.4 CVE-2020-11023" {
+		t.Errorf("stale-high detail = %v", rv.Detail)
+	}
+	if rv := byName["versionless-external"]; rv.Outcome != "fail" || rv.Matched != 1 || rv.Detail[0] != "unknownlib" {
+		t.Errorf("versionless-external = %+v", rv)
+	}
+	if rv := byName["discontinued"]; rv.Outcome != "warn" || rv.Detail[0] != "swfobject@2.2" {
+		t.Errorf("discontinued = %+v", rv)
+	}
+	if rv := byName["flash"]; rv.Outcome != "warn" || rv.Matched != 1 {
+		t.Errorf("flash = %+v", rv)
+	}
+}
+
+func TestCleanDocPasses(t *testing.T) {
+	p, err := Compile([]byte(ciGateYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := p.Eval(&Doc{Host: "clean.test", Now: testNow})
+	if v.Overall != "pass" {
+		t.Fatalf("overall = %q, want pass: %+v", v.Overall, v)
+	}
+	for _, rv := range v.Rules {
+		if rv.Outcome != "pass" || rv.Matched != 0 || rv.Msg != "" {
+			t.Errorf("rule %+v should pass silently", rv)
+		}
+	}
+}
+
+func TestWarnOnlyOverall(t *testing.T) {
+	p, err := Compile([]byte("rules:\n  - name: w\n    level: warn\n    when: uses_flash\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := p.Eval(&Doc{UsesFlash: true, Now: testNow}); v.Overall != "warn" {
+		t.Fatalf("overall = %q, want warn", v.Overall)
+	}
+}
+
+func TestCompileJSON(t *testing.T) {
+	src := `{"name":"j","rules":[{"name":"r","scope":"finding","when":"patch_available_days > 365"}]}`
+	p, err := Compile([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := p.Eval(testDoc())
+	if v.Overall != "fail" || v.Rules[0].Matched != 1 {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestEvalDeterministicBytes(t *testing.T) {
+	p, err := Compile([]byte(ciGateYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(p.Eval(testDoc()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b, err := json.Marshal(p.Eval(testDoc()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("verdict bytes differ between evaluations:\n%s\n%s", a, b)
+		}
+	}
+}
+
+func TestPagePrefixInItemScopes(t *testing.T) {
+	p, err := Compile([]byte(`{"rules":[{"name":"x","scope":"library","when":"external && page.missing_sri > 0"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := p.Eval(testDoc()); v.Rules[0].Matched != 2 {
+		t.Fatalf("matched = %d, want 2", v.Rules[0].Matched)
+	}
+}
+
+func TestExpressionOperators(t *testing.T) {
+	doc := testDoc()
+	cases := []struct {
+		scope, when string
+		matched     int
+	}{
+		{"page", `missing_sri >= 2 && script_count < 5`, 1},
+		{"page", `host contains "example"`, 1},
+		{"page", `host startswith "ex"`, 1},
+		{"page", `!vulnerable_tvv || insecure_flash`, 1},
+		{"page", `wordpress != ""`, 0},
+		{"page", `(uses_flash && !insecure_flash) || missing_sri == 3`, 0},
+		{"library", `slug == "jquery" && host contains "jquery.com"`, 1},
+		{"library", `known == false`, 1},
+		{"finding", `age(disclosed) > 2000d && severity == "high"`, 2},
+		{"finding", `age(disclosed) < 36500h`, 0}, // both advisories older than ~4.2y
+		{"finding", `fixed_in == ""`, 0},
+		{"finding", `advisory startswith "CVE-2015"`, 1},
+		{"finding", `per_cve_only`, 0},
+	}
+	for _, tc := range cases {
+		src := `{"rules":[{"name":"t","scope":"` + tc.scope + `","when":` + jsonStr(tc.when) + `}]}`
+		p, err := Compile([]byte(src))
+		if err != nil {
+			t.Errorf("%s: %v", tc.when, err)
+			continue
+		}
+		if v := p.Eval(doc); v.Rules[0].Matched != tc.matched {
+			t.Errorf("%s scope %s: matched = %d, want %d", tc.scope, tc.when, v.Rules[0].Matched, tc.matched)
+		}
+	}
+}
+
+func jsonStr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+func TestAgeOfZeroDateNeverFires(t *testing.T) {
+	p, err := Compile([]byte(`{"rules":[{"name":"t","scope":"finding","when":"age(disclosed) > 1d"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := &Doc{Findings: []Finding{{Advisory: "X", Severity: "high"}}, Now: testNow}
+	if v := p.Eval(doc); v.Rules[0].Matched != 0 {
+		t.Fatal("age() of a zero date must not match")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"empty", "", "empty source"},
+		{"no rules", "name: x\n", "no rules"},
+		{"bad level", `{"rules":[{"name":"r","level":"abort","when":"true"}]}`, "level"},
+		{"bad scope", `{"rules":[{"name":"r","scope":"galaxy","when":"true"}]}`, "scope"},
+		{"no when", `{"rules":[{"name":"r"}]}`, "missing when"},
+		{"dup name", `{"rules":[{"name":"r","when":"uses_flash"},{"name":"r","when":"uses_flash"}]}`, "duplicate"},
+		{"unknown field", `{"rules":[{"name":"r","when":"entropy > 3"}]}`, "unknown field"},
+		{"item field in page scope", `{"rules":[{"name":"r","when":"severity == \"high\""}]}`, "unknown field"},
+		{"type clash", `{"rules":[{"name":"r","when":"missing_sri == \"two\""}]}`, "cannot compare"},
+		{"string order", `{"rules":[{"name":"r","scope":"library","when":"version < \"3.0.0\""}]}`, "version strings do not order"},
+		{"non-bool expr", `{"rules":[{"name":"r","when":"missing_sri"}]}`, "not a predicate"},
+		{"bare time", `{"rules":[{"name":"r","scope":"finding","when":"disclosed == disclosed"}]}`, "age()"},
+		{"unterminated string", `{"rules":[{"name":"r","when":"host == \"x"}]}`, "unterminated"},
+		{"trailing junk", `{"rules":[{"name":"r","when":"uses_flash extra"}]}`, "unexpected"},
+		{"bad duration", `{"rules":[{"name":"r","scope":"finding","when":"age(disclosed) > 90x"}]}`, "bad duration"},
+		{"age of string", `{"rules":[{"name":"r","scope":"finding","when":"age(advisory) > 1d"}]}`, "want a date"},
+		{"yaml tab indent", "rules:\n\t- name: r\n", "tabs"},
+		{"yaml unknown key", "rules:\n  - name: r\n    danger: yes\n", "unknown rule key"},
+		{"yaml top-level junk", "version: 2\n", "unknown top-level key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("compile accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRuleCountCap(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`{"rules":[`)
+	for i := 0; i < maxRules+1; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"name":"r` + strings.Repeat("x", i%7) + string(rune('a'+i%26)) + jsonNum(i) + `","when":"uses_flash"}`)
+	}
+	sb.WriteString(`]}`)
+	if _, err := Compile([]byte(sb.String())); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("err = %v, want rule-cap error", err)
+	}
+}
+
+func jsonNum(i int) string {
+	b, _ := json.Marshal(i)
+	return string(b)
+}
+
+func TestSourceSizeCap(t *testing.T) {
+	big := append([]byte(`{"rules":[{"name":"r","when":"`), make([]byte, MaxSourceBytes)...)
+	if _, err := Compile(big); err == nil || !strings.Contains(err.Error(), "larger") {
+		t.Fatalf("err = %v, want size-cap error", err)
+	}
+}
+
+func TestYAMLCommentAndQuotes(t *testing.T) {
+	src := "name: \"quoted name\"  # trailing comment\nrules:\n" +
+		"  - name: 'r'\n" +
+		"    when: host contains \"#fragment\" # comment after quoted hash\n"
+	p, err := Compile([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "quoted name" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if p.Rules[0].When != `host contains "#fragment"` {
+		t.Errorf("when = %q", p.Rules[0].When)
+	}
+}
+
+// TestConcurrentEval pins that one compiled policy is safe for concurrent
+// evaluation (run under -race).
+func TestConcurrentEval(t *testing.T) {
+	p, err := Compile([]byte(ciGateYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan Verdict, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- p.Eval(testDoc()) }()
+	}
+	want, _ := json.Marshal(p.Eval(testDoc()))
+	for i := 0; i < 8; i++ {
+		got, _ := json.Marshal(<-done)
+		if string(got) != string(want) {
+			t.Fatal("concurrent eval diverged")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package policy
+
+// A minimal YAML-subset parser for the one fixed document shape policy
+// files use — a top-level name plus a flat list of scalar-valued rule
+// maps. The repo takes no dependencies, and a full YAML implementation
+// would be wildly out of proportion for this schema; anything outside the
+// subset is a loud error, never a silent misparse.
+//
+// Recognized shape (two-space indentation, '#' comments, optional single
+// or double quotes around scalars):
+//
+//	name: ci gate
+//	rules:
+//	  - name: stale-high
+//	    level: fail
+//	    scope: finding
+//	    when: severity == "high" && age(disclosed) > 90d
+//	    msg: message shown on trigger
+
+import (
+	"fmt"
+	"strings"
+)
+
+func parseYAMLSubset(src string) (rawPolicy, error) {
+	var p rawPolicy
+	var cur *rawRule
+	inRules := false
+	flush := func() {
+		if cur != nil {
+			p.Rules = append(p.Rules, *cur)
+			cur = nil
+		}
+	}
+	for ln, line := range strings.Split(src, "\n") {
+		lineNo := ln + 1
+		stripped := stripComment(line)
+		if strings.TrimSpace(stripped) == "" {
+			continue
+		}
+		trimmed := strings.TrimLeft(stripped, " ")
+		indent := len(stripped) - len(trimmed)
+		if strings.HasPrefix(trimmed, "\t") {
+			return p, fmt.Errorf("line %d: tabs are not valid YAML indentation", lineNo)
+		}
+		body := strings.TrimSpace(stripped)
+		switch {
+		case indent == 0:
+			flush()
+			inRules = false
+			key, val, err := splitKV(body, lineNo)
+			if err != nil {
+				return p, err
+			}
+			switch key {
+			case "name":
+				p.Name = val
+			case "rules":
+				if val != "" {
+					return p, fmt.Errorf("line %d: rules: must introduce a list", lineNo)
+				}
+				inRules = true
+			default:
+				return p, fmt.Errorf("line %d: unknown top-level key %q (want name or rules)", lineNo, key)
+			}
+		case inRules && strings.HasPrefix(body, "- "):
+			flush()
+			cur = &rawRule{}
+			key, val, err := splitKV(strings.TrimSpace(body[2:]), lineNo)
+			if err != nil {
+				return p, err
+			}
+			if err := setRuleField(cur, key, val, lineNo); err != nil {
+				return p, err
+			}
+		case inRules && cur != nil:
+			key, val, err := splitKV(body, lineNo)
+			if err != nil {
+				return p, err
+			}
+			if err := setRuleField(cur, key, val, lineNo); err != nil {
+				return p, err
+			}
+		default:
+			return p, fmt.Errorf("line %d: unexpected content %q outside the policy schema", lineNo, body)
+		}
+	}
+	flush()
+	return p, nil
+}
+
+// stripComment removes a trailing # comment, respecting quoted strings —
+// `when: attack == "#weird"` must survive.
+func stripComment(line string) string {
+	var quote byte
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else if c == '\\' {
+				i++
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '#':
+			// YAML only treats # as a comment at start or after whitespace.
+			if i == 0 || line[i-1] == ' ' || line[i-1] == '\t' {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func splitKV(body string, lineNo int) (key, val string, err error) {
+	i := strings.IndexByte(body, ':')
+	if i < 0 {
+		return "", "", fmt.Errorf("line %d: expected key: value, got %q", lineNo, body)
+	}
+	key = strings.TrimSpace(body[:i])
+	val = strings.TrimSpace(body[i+1:])
+	if len(val) >= 2 {
+		if (val[0] == '"' && val[len(val)-1] == '"') || (val[0] == '\'' && val[len(val)-1] == '\'') {
+			val = val[1 : len(val)-1]
+		}
+	}
+	return key, val, nil
+}
+
+func setRuleField(r *rawRule, key, val string, lineNo int) error {
+	switch key {
+	case "name":
+		r.Name = val
+	case "level":
+		r.Level = val
+	case "scope":
+		r.Scope = val
+	case "when":
+		r.When = val
+	case "msg":
+		r.Msg = val
+	default:
+		return fmt.Errorf("line %d: unknown rule key %q (want name, level, scope, when, or msg)", lineNo, key)
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"clientres/internal/fingerprint"
+	"clientres/internal/policy"
 	"clientres/internal/vulndb"
 )
 
@@ -30,6 +31,9 @@ type AuditFinding struct {
 	Version  string `json:"version"`
 	Advisory string `json:"advisory"`
 	Attack   string `json:"attack"`
+	// Severity is the attack class's coarse tier ("high"/"medium") — the
+	// field policies like "fail if any HIGH CVE older than 90 days" gate on.
+	Severity string `json:"severity"`
 	// Disclosed is the advisory's public disclosure date (YYYY-MM-DD).
 	Disclosed string `json:"disclosed"`
 	// FixedIn is the patched version; empty when no fix exists.
@@ -105,6 +109,7 @@ func Audit(html, host string, now time.Time) AuditResponse {
 			f := AuditFinding{
 				Library: hit.Slug, Version: hit.Version.String(),
 				Advisory: adv.ID, Attack: string(adv.Attack),
+				Severity:    adv.Attack.Severity(),
 				Disclosed:   adv.Disclosed.Format("2006-01-02"),
 				PerCVEOnly:  inCVE && !inTVV,
 				Conditional: adv.Conditional,
@@ -131,4 +136,51 @@ func Audit(html, host string, now time.Time) AuditResponse {
 		resp.InsecureFlash = det.Flash.Always
 	}
 	return resp
+}
+
+// PolicyDoc converts an audit response into the policy engine's document
+// model, as of the same audit clock. Discontinued status joins here from
+// the library catalog (it is a property of the library, not the page).
+// Every serving path — online, batch, offline — goes through this one
+// conversion, which is what makes policy verdicts path-independent.
+func (r *AuditResponse) PolicyDoc(now time.Time) *policy.Doc {
+	doc := &policy.Doc{
+		Host:          r.Host,
+		Libraries:     make([]policy.Library, 0, len(r.Libraries)),
+		Findings:      make([]policy.Finding, 0, len(r.Findings)),
+		VulnerableTVV: r.VulnerableTVV,
+		VulnerableCVE: r.VulnerableCVE,
+		MissingSRI:    r.MissingSRI,
+		ScriptCount:   r.ScriptCount,
+		UsesFlash:     r.UsesFlash,
+		InsecureFlash: r.InsecureFlash,
+		WordPress:     r.WordPress,
+		Now:           now,
+	}
+	for _, l := range r.Libraries {
+		pl := policy.Library{
+			Slug: l.Slug, Known: l.Known, Version: l.Version,
+			External: l.External, Host: l.Host,
+			SRI: l.SRI, Crossorigin: l.Crossorigin,
+		}
+		if lib, ok := vulndb.LibraryBySlug(l.Slug); ok {
+			pl.Discontinued = lib.Discontinued
+		}
+		doc.Libraries = append(doc.Libraries, pl)
+	}
+	for _, f := range r.Findings {
+		pf := policy.Finding{
+			Library: f.Library, Version: f.Version,
+			Advisory: f.Advisory, Attack: f.Attack, Severity: f.Severity,
+			FixedIn:            f.FixedIn,
+			PatchAvailableDays: f.PatchAvailableDays,
+			PerCVEOnly:         f.PerCVEOnly,
+			Conditional:        f.Conditional,
+		}
+		if t, err := time.Parse("2006-01-02", f.Disclosed); err == nil {
+			pf.Disclosed = t
+		}
+		doc.Findings = append(doc.Findings, pf)
+	}
+	return doc
 }

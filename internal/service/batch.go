@@ -1,0 +1,592 @@
+package service
+
+// The NDJSON batch protocol: POST /v1/audit/batch streams audit records
+// in and verdicts out with bounded memory, which is what fleet clients
+// (CI farms auditing thousands of pages) need instead of one HTTP round
+// trip per page.
+//
+// Request body: one JSON record per line. An optional first control line
+// `{"policy": …}` selects a policy for the whole stream (same forms as
+// the single-audit "policy" member); every following line is
+// `{"html": …, "host": …}`. URL records are rejected per-record — batch
+// is for content the client already holds.
+//
+// Response body: one JSON line per record, in input order —
+// `{"index":i,"audit":{…}}` (plus `"policy":{…}` when a policy is
+// active) or `{"index":i,"error":"…"}` — then one terminal line
+// `{"summary":{…}}` reconciling records/completed/errors/shed exactly.
+// Lines are flushed as they complete, so a slow consumer sees results
+// incrementally, not buffered to completion.
+//
+// Memory is bounded by a fixed in-flight window: each admitted record
+// holds one worker-queue slot and one buffered reply until its line is
+// written. When the shared queue is full the record sheds through the
+// same accounting as the single-audit 503 path, as a per-record error
+// line (the stream's status code is already on the wire).
+//
+// RunBatch is the same record loop with the worker pool replaced by an
+// inline audit — cmd/analyze -batch runs it offline, and the equivalence
+// test proves both paths emit byte-identical lines for the same inputs.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"clientres/internal/policy"
+)
+
+// batchRecord is one NDJSON input line.
+type batchRecord struct {
+	HTML   string          `json:"html,omitempty"`
+	Host   string          `json:"host,omitempty"`
+	URL    string          `json:"url,omitempty"`
+	Policy json.RawMessage `json:"policy,omitempty"`
+}
+
+// BatchSummary is the terminal NDJSON line of a batch response: an exact
+// reconciliation of every input record. Records = Completed + Errors;
+// Shed counts the Errors that were queue-full sheds; Overall is the
+// worst per-record policy verdict ("" without a policy).
+type BatchSummary struct {
+	Records   int    `json:"records"`
+	Completed int    `json:"completed"`
+	Errors    int    `json:"errors"`
+	Shed      int    `json:"shed"`
+	Overall   string `json:"overall,omitempty"`
+}
+
+// maxBatchLine caps one NDJSON record (JSON framing included); it tracks
+// the single-audit body cap so batch cannot smuggle bigger pages.
+func (s *Server) maxBatchLine() int {
+	n := int(s.cfg.MaxBodyBytes)
+	return n + n/4 + 4096 // room for JSON string escaping and framing
+}
+
+// evalPolicy evaluates pol against one serialized audit response as of
+// now, returning the verdict and its canonical JSON. Every path — online
+// single, online batch, offline RunBatch — funnels through here, which is
+// what makes verdicts byte-identical across them.
+func evalPolicy(pol *policy.Policy, auditJSON []byte, now time.Time) ([]byte, policy.Verdict, error) {
+	var resp AuditResponse
+	if err := json.Unmarshal(auditJSON, &resp); err != nil {
+		return nil, policy.Verdict{}, err
+	}
+	v := pol.Eval(resp.PolicyDoc(now))
+	b, err := json.Marshal(v)
+	return b, v, err
+}
+
+// policyEnvelope splices untouched audit JSON and verdict JSON into
+// {"audit":…,"policy":…}\n. The audit bytes stay verbatim — they may have
+// been replayed from the cache, and cold vs cached responses must remain
+// byte-identical.
+func policyEnvelope(auditJSON, verdictJSON []byte) []byte {
+	audit := bytes.TrimRight(auditJSON, "\n")
+	buf := make([]byte, 0, len(audit)+len(verdictJSON)+24)
+	buf = append(buf, `{"audit":`...)
+	buf = append(buf, audit...)
+	buf = append(buf, `,"policy":`...)
+	buf = append(buf, verdictJSON...)
+	buf = append(buf, '}', '\n')
+	return buf
+}
+
+// formatBatchLine renders record i's success line.
+func formatBatchLine(i int, auditJSON, verdictJSON []byte) []byte {
+	audit := bytes.TrimRight(auditJSON, "\n")
+	buf := make([]byte, 0, len(audit)+len(verdictJSON)+48)
+	buf = append(buf, `{"index":`...)
+	buf = strconv.AppendInt(buf, int64(i), 10)
+	buf = append(buf, `,"audit":`...)
+	buf = append(buf, audit...)
+	if verdictJSON != nil {
+		buf = append(buf, `,"policy":`...)
+		buf = append(buf, verdictJSON...)
+	}
+	buf = append(buf, '}', '\n')
+	return buf
+}
+
+// formatBatchError renders record i's error line.
+func formatBatchError(i int, msg string, shed bool) []byte {
+	m, _ := json.Marshal(msg)
+	buf := make([]byte, 0, len(m)+48)
+	buf = append(buf, `{"index":`...)
+	buf = strconv.AppendInt(buf, int64(i), 10)
+	buf = append(buf, `,"error":`...)
+	buf = append(buf, m...)
+	if shed {
+		buf = append(buf, `,"shed":true`...)
+	}
+	buf = append(buf, '}', '\n')
+	return buf
+}
+
+func formatBatchSummary(sum BatchSummary) []byte {
+	b, _ := json.Marshal(struct {
+		Summary BatchSummary `json:"summary"`
+	}{sum})
+	return append(b, '\n')
+}
+
+// validateBatchRecord maps one parsed record to an error message, or "".
+func validateBatchRecord(rec *batchRecord) string {
+	switch {
+	case rec.URL != "":
+		return "url records are not supported in batch audits"
+	case rec.HTML == "":
+		return `"html" is required`
+	default:
+		return ""
+	}
+}
+
+// worseVerdict folds per-record overall verdicts into a stream verdict.
+func worseVerdict(acc, v string) string {
+	rank := map[string]int{"": 0, "pass": 1, "warn": 2, "fail": 3}
+	if rank[v] > rank[acc] {
+		return v
+	}
+	return acc
+}
+
+// pendingRecord is one admitted batch record whose line has not been
+// written yet: either an already-resolved body (cache hit, error) or a
+// job whose reply is still owed.
+type pendingRecord struct {
+	index int
+	ready []byte    // non-nil: emit as-is
+	job   *auditJob // else: wait on job.reply
+	resp  []byte    // job reply already collected by the streaming select
+	key   cacheKey
+	now   time.Time
+	miss  bool // a completed job should be banked in the cache
+	errLn bool // ready is an error line, not an audit
+}
+
+func (s *Server) handleAuditBatch(w http.ResponseWriter, r *http.Request) {
+	if s.limiter != nil {
+		// One token admits the stream; records inside it are governed by
+		// queue backpressure, not the per-request bucket (a 10k-record
+		// batch is one client action, not 10k).
+		if retry, ok := s.limiter.allow(clientKey(r)); !ok {
+			s.met.shedRate.Inc()
+			w.Header().Set("Retry-After", retryAfterSeconds(retry))
+			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+			return
+		}
+	}
+	pol, isServerPol, err := s.resolvePolicy(nil, r.URL.Query().Get("policy"))
+	if err != nil {
+		http.Error(w, "bad policy: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	s.met.batchStreams.Inc()
+	s.met.batchActive.Inc()
+	defer s.met.batchActive.Add(-1)
+
+	// NDJSON batch is a full-duplex exchange: result lines go out while
+	// the client is still sending records. HTTP/1.x handlers are
+	// half-duplex by default — the first response write blocks to consume
+	// the rest of the request body, deadlocking against a client that
+	// waits for results before sending more. The error is ignorable:
+	// writers that don't support the controller (test recorders) have no
+	// duplex problem to begin with.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+
+	// Input lines arrive through a reader goroutine so the record loop can
+	// select between "next input line" and "front-of-window audit done".
+	// That select is what makes output genuinely record-by-record: a
+	// completed audit streams out even while the client is still composing
+	// its next record, instead of buffering until the window fills or the
+	// body ends.
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), s.maxBatchLine())
+	lines := make(chan []byte)
+	scanErr := make(chan error, 1)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		defer close(lines)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			cp := append([]byte(nil), line...) // the Scanner reuses its buffer
+			select {
+			case lines <- cp:
+			case <-stop:
+				return
+			}
+		}
+		scanErr <- sc.Err()
+	}()
+
+	// The in-flight window: admitted records not yet written. Its length
+	// bounds both queue slots this stream holds and buffered replies in
+	// memory; emission order is input order regardless of completion
+	// order.
+	window := make([]*pendingRecord, 0, s.batchWindow())
+	var sum BatchSummary
+
+	emit := func(p *pendingRecord) bool {
+		line := p.ready
+		if line == nil {
+			resp := p.resp
+			if resp == nil {
+				resp = <-p.job.reply
+			}
+			if p.miss {
+				s.cacheStore(p.key, resp)
+				s.met.cacheMisses.Inc()
+			}
+			var verdictJSON []byte
+			if pol != nil {
+				vj, v, err := evalPolicy(pol, resp, p.now)
+				if err != nil {
+					line = formatBatchError(p.index, "policy evaluation failed", false)
+					sum.Errors++
+					s.met.batchErrors.Inc()
+				} else {
+					s.observeVerdict(v, isServerPol)
+					sum.Overall = worseVerdict(sum.Overall, v.Overall)
+					verdictJSON = vj
+				}
+			}
+			if line == nil {
+				line = formatBatchLine(p.index, resp, verdictJSON)
+				sum.Completed++
+				s.met.batchCompleted.Inc()
+			}
+		}
+		if _, err := w.Write(line); err != nil {
+			return false
+		}
+		flush()
+		return true
+	}
+	drainOne := func() bool {
+		p := window[0]
+		window = window[1:]
+		return emit(p)
+	}
+
+	index := 0
+	clientGone := false
+	inputOpen := true
+	for inputOpen || len(window) > 0 {
+		// Stream out every front-of-window record whose result is in hand.
+		for len(window) > 0 && !clientGone {
+			if p0 := window[0]; p0.ready == nil && p0.resp == nil {
+				break
+			}
+			if !drainOne() {
+				clientGone = true
+			}
+		}
+		if clientGone {
+			break
+		}
+		if !inputOpen && len(window) == 0 {
+			break
+		}
+
+		// Wait for whichever happens first: the front job completing (its
+		// line can go out) or the next input line (more work to admit).
+		// A nil channel blocks forever, which is how each case is disabled.
+		var frontReply chan []byte
+		if len(window) > 0 {
+			frontReply = window[0].job.reply
+		}
+		in := lines
+		if !inputOpen || len(window) >= s.batchWindow() {
+			in = nil
+		}
+		var line []byte
+		select {
+		case resp := <-frontReply:
+			window[0].resp = resp
+			continue
+		case l, ok := <-in:
+			if !ok {
+				inputOpen = false
+				continue
+			}
+			line = l
+		}
+
+		var rec batchRecord
+		perr := json.Unmarshal(line, &rec)
+
+		// An optional leading control line sets the stream policy.
+		if index == 0 && perr == nil && len(rec.Policy) > 0 && rec.HTML == "" && rec.URL == "" {
+			pol, isServerPol, err = s.resolvePolicy(rec.Policy, "")
+			if err != nil {
+				// The stream cannot proceed without the policy it asked
+				// for; report and stop before any record line.
+				_, _ = w.Write(formatBatchError(0, "bad policy: "+err.Error(), false))
+				flush()
+				return
+			}
+			continue
+		}
+
+		p := &pendingRecord{index: index}
+		switch {
+		case perr != nil:
+			p.ready = formatBatchError(index, "invalid JSON record", false)
+			p.errLn = true
+		default:
+			if msg := validateBatchRecord(&rec); msg != "" {
+				p.ready = formatBatchError(index, msg, false)
+				p.errLn = true
+			}
+		}
+		index++
+		sum.Records++
+		s.met.batchRecords.Inc()
+
+		if p.ready == nil {
+			host := rec.Host
+			if host == "" {
+				host = "audit.local"
+			}
+			now := s.cfg.Now()
+			key := cacheKey{hash: fnv1a64(rec.HTML), n: len(rec.HTML), host: host}
+			if s.cache != nil {
+				if cached, ok := s.cache.get(key); ok {
+					s.met.cacheHits.Inc()
+					if pol != nil {
+						vj, v, err := evalPolicy(pol, cached, now)
+						if err != nil {
+							p.ready = formatBatchError(p.index, "policy evaluation failed", false)
+							p.errLn = true
+						} else {
+							s.observeVerdict(v, isServerPol)
+							sum.Overall = worseVerdict(sum.Overall, v.Overall)
+							p.ready = formatBatchLine(p.index, cached, vj)
+						}
+					} else {
+						p.ready = formatBatchLine(p.index, cached, nil)
+					}
+					if !p.errLn {
+						sum.Completed++
+						s.met.batchCompleted.Inc()
+					}
+				}
+			}
+			if p.ready == nil {
+				job := &auditJob{html: rec.HTML, host: host, now: now, reply: make(chan []byte, 1)}
+				// Backpressure: make room in our own window first, then
+				// shed through the same accounting as the single-audit
+				// 503 path if the shared queue is still full.
+				submitted := s.submit(job)
+				for !submitted && len(window) > 0 {
+					if !drainOne() {
+						clientGone = true
+						break
+					}
+					submitted = s.submit(job)
+				}
+				if clientGone {
+					break
+				}
+				if submitted {
+					p.job, p.key, p.now, p.miss = job, key, now, s.cache != nil
+				} else {
+					s.met.shedQueue.Inc()
+					s.met.batchShedRecords.Inc()
+					p.ready = formatBatchError(p.index, "audit queue full", true)
+					p.errLn = true
+				}
+			}
+		}
+		if p.errLn {
+			sum.Errors++
+			s.met.batchErrors.Inc()
+			if bytes.Contains(p.ready, []byte(`"shed":true`)) {
+				sum.Shed++
+			}
+		}
+		window = append(window, p)
+	}
+
+	// Drain whatever is still in flight, then reconcile. Even on a
+	// mid-stream client disconnect the admitted jobs must be consumed so
+	// their buffered replies are banked in the cache, not leaked.
+	for len(window) > 0 {
+		p := window[0]
+		window = window[1:]
+		if clientGone && p.job != nil {
+			resp := p.resp
+			if resp == nil {
+				resp = <-p.job.reply
+			}
+			if p.miss {
+				s.cacheStore(p.key, resp)
+				s.met.cacheMisses.Inc()
+			}
+			continue
+		}
+		if !emit(p) {
+			clientGone = true
+		}
+	}
+	if clientGone {
+		return
+	}
+	if err := <-scanErr; err != nil {
+		msg := "error reading batch body"
+		if errors.Is(err, bufio.ErrTooLong) {
+			msg = fmt.Sprintf("batch record exceeds %d bytes", s.maxBatchLine())
+		}
+		_, _ = w.Write(formatBatchError(index, msg, false))
+		flush()
+		return
+	}
+	_, _ = w.Write(formatBatchSummary(sum))
+	flush()
+}
+
+// batchWindow bounds in-flight records per stream: enough to keep the
+// worker pool busy, small enough that one stream cannot monopolize the
+// shared queue.
+func (s *Server) batchWindow() int {
+	n := s.cfg.Workers * 2
+	if n > s.cfg.QueueDepth {
+		n = s.cfg.QueueDepth
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > 32 {
+		n = 32
+	}
+	return n
+}
+
+// RunBatch is the offline batch path: the same NDJSON record loop as
+// POST /v1/audit/batch with the worker pool replaced by an inline audit —
+// no server, no network. pol may be nil (audits only); a leading
+// {"policy": …} control line overrides it, with inline forms only (there
+// is no server to name). The emitted lines are byte-identical to what the
+// online batch endpoint streams for the same records, policy, and clock;
+// cmd/analyze -batch is this function behind flags.
+func RunBatch(r io.Reader, w io.Writer, pol *policy.Policy, now time.Time, maxRecordBytes int) (BatchSummary, error) {
+	var sum BatchSummary
+	if maxRecordBytes <= 0 {
+		maxRecordBytes = (2 << 20) + (2<<20)/4 + 4096 // mirror the server default
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxRecordBytes)
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	index := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec batchRecord
+		perr := json.Unmarshal(line, &rec)
+		if index == 0 && perr == nil && len(rec.Policy) > 0 && rec.HTML == "" && rec.URL == "" {
+			p, err := compileInlinePolicy(rec.Policy)
+			if err != nil {
+				_, _ = bw.Write(formatBatchError(0, "bad policy: "+err.Error(), false))
+				return sum, fmt.Errorf("batch: %v", err)
+			}
+			pol = p
+			continue
+		}
+		var out []byte
+		isErr := false
+		switch {
+		case perr != nil:
+			out = formatBatchError(index, "invalid JSON record", false)
+			isErr = true
+		default:
+			if msg := validateBatchRecord(&rec); msg != "" {
+				out = formatBatchError(index, msg, false)
+				isErr = true
+			}
+		}
+		sum.Records++
+		if out == nil {
+			host := rec.Host
+			if host == "" {
+				host = "audit.local"
+			}
+			resp := Audit(rec.HTML, host, now)
+			auditJSON, err := json.Marshal(resp)
+			if err != nil {
+				auditJSON = []byte("{}")
+			}
+			auditJSON = append(auditJSON, '\n')
+			var verdictJSON []byte
+			if pol != nil {
+				vj, v, err := evalPolicy(pol, auditJSON, now)
+				if err != nil {
+					out = formatBatchError(index, "policy evaluation failed", false)
+					isErr = true
+				} else {
+					sum.Overall = worseVerdict(sum.Overall, v.Overall)
+					verdictJSON = vj
+				}
+			}
+			if out == nil {
+				out = formatBatchLine(index, auditJSON, verdictJSON)
+				sum.Completed++
+			}
+		}
+		if isErr {
+			sum.Errors++
+		}
+		if _, err := bw.Write(out); err != nil {
+			return sum, err
+		}
+		index++
+	}
+	if err := sc.Err(); err != nil {
+		msg := "error reading batch body"
+		if errors.Is(err, bufio.ErrTooLong) {
+			msg = fmt.Sprintf("batch record exceeds %d bytes", maxRecordBytes)
+		}
+		_, _ = bw.Write(formatBatchError(index, msg, false))
+		return sum, err
+	}
+	_, _ = bw.Write(formatBatchSummary(sum))
+	return sum, nil
+}
+
+// compileInlinePolicy handles the control-line policy forms that make
+// sense offline: an inline object or a source string (the "server"
+// selector needs a server).
+func compileInlinePolicy(raw json.RawMessage) (*policy.Policy, error) {
+	if len(raw) > policy.MaxSourceBytes {
+		return nil, fmt.Errorf("inline policy larger than %d bytes", policy.MaxSourceBytes)
+	}
+	var src string
+	if json.Unmarshal(raw, &src) == nil {
+		if src == "server" || src == "default" {
+			return nil, fmt.Errorf("policy %q requires a server; pass the policy inline", src)
+		}
+		return policy.Compile([]byte(src))
+	}
+	return policy.Compile(raw)
+}

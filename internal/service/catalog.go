@@ -40,7 +40,7 @@ func vulnEntries(slug string) ([]vulnEntry, bool) {
 	out := make([]vulnEntry, 0, len(advs))
 	for _, a := range advs {
 		e := vulnEntry{
-			ID: a.ID, Attack: string(a.Attack),
+			ID: a.ID, Attack: string(a.Attack), Severity: a.Attack.Severity(),
 			CVERange:  a.CVERange.String(),
 			TrueRange: a.EffectiveTrueRange().String(),
 			Accuracy:  vulndb.Unvalidated.String(),

@@ -85,6 +85,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "clientres_audit_queue_depth %d\n", len(s.jobs))
 	fmt.Fprintf(&b, "clientres_audit_queue_capacity %d\n", cap(s.jobs))
 
+	fmt.Fprintf(&b, "# HELP clientres_policy_verdicts_total Policy evaluations by overall verdict (all policies).\n")
+	fmt.Fprintf(&b, "# TYPE clientres_policy_verdicts_total counter\n")
+	fmt.Fprintf(&b, "clientres_policy_verdicts_total{overall=\"pass\"} %d\n", s.met.policyPass.Load())
+	fmt.Fprintf(&b, "clientres_policy_verdicts_total{overall=\"warn\"} %d\n", s.met.policyWarn.Load())
+	fmt.Fprintf(&b, "clientres_policy_verdicts_total{overall=\"fail\"} %d\n", s.met.policyFail.Load())
+	if len(s.met.policyRules) > 0 {
+		// Per-rule series exist only for the server-preloaded policy:
+		// its rule names are operator-chosen and fixed at startup, so the
+		// label cardinality is bounded. Inline request policies only feed
+		// the aggregate counters above.
+		fmt.Fprintf(&b, "# HELP clientres_policy_rule_verdicts_total Per-rule outcomes of the server-preloaded policy.\n")
+		fmt.Fprintf(&b, "# TYPE clientres_policy_rule_verdicts_total counter\n")
+		for _, rm := range s.met.policyRules {
+			fmt.Fprintf(&b, "clientres_policy_rule_verdicts_total{rule=%q,outcome=\"pass\"} %d\n", rm.name, rm.pass.Load())
+			fmt.Fprintf(&b, "clientres_policy_rule_verdicts_total{rule=%q,outcome=\"warn\"} %d\n", rm.name, rm.warn.Load())
+			fmt.Fprintf(&b, "clientres_policy_rule_verdicts_total{rule=%q,outcome=\"fail\"} %d\n", rm.name, rm.fail.Load())
+		}
+	}
+
+	fmt.Fprintf(&b, "# HELP clientres_batch Batch audit stream traffic.\n")
+	fmt.Fprintf(&b, "# TYPE clientres_batch_streams_total counter\n")
+	fmt.Fprintf(&b, "clientres_batch_streams_total %d\n", s.met.batchStreams.Load())
+	fmt.Fprintf(&b, "# TYPE clientres_batch_streams_active gauge\n")
+	fmt.Fprintf(&b, "clientres_batch_streams_active %d\n", s.met.batchActive.Load())
+	fmt.Fprintf(&b, "# TYPE clientres_batch_records_total counter\n")
+	fmt.Fprintf(&b, "clientres_batch_records_total{result=\"completed\"} %d\n", s.met.batchCompleted.Load())
+	fmt.Fprintf(&b, "clientres_batch_records_total{result=\"error\"} %d\n", s.met.batchErrors.Load())
+	fmt.Fprintf(&b, "clientres_batch_records_total{result=\"shed\"} %d\n", s.met.batchShedRecords.Load())
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write(b.Bytes())
 }

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"clientres/internal/metrics"
+	"clientres/internal/policy"
 )
 
 // Config parameterizes a Server.
@@ -64,6 +65,13 @@ type Config struct {
 	// Fetch retrieves a URL for {"url": ...} audits — cmd/serve wires the
 	// resilient crawler fetch path here. nil disables URL audits (501).
 	Fetch func(ctx context.Context, url string) (status int, body string, err error)
+	// Policy is the server-preloaded audit policy (cmd/serve -policy).
+	// Clients select it with "policy":"server" or ?policy=server; nil
+	// means no server policy is loaded. Per-rule verdict counters in
+	// /metrics exist only for this policy — inline client policies have
+	// unbounded rule-name cardinality and count into the aggregate
+	// verdict series only.
+	Policy *policy.Policy
 	// Logger receives one structured line per request; nil discards.
 	Logger *slog.Logger
 	// Now is the audit clock (PatchAvailableDays, rate-limiter refill);
@@ -109,12 +117,26 @@ type endpointMetrics struct {
 	lat   metrics.Histogram
 }
 
+// ruleMetrics counts one preloaded-policy rule's verdicts by outcome.
+type ruleMetrics struct {
+	name             string
+	pass, warn, fail metrics.Counter
+}
+
 // serverMetrics aggregates every counter /metrics exports.
 type serverMetrics struct {
 	endpoints                              []*endpointMetrics
 	cacheHits, cacheMisses, cacheEvictions metrics.Counter
 	shedQueue, shedRate                    metrics.Counter
 	fetches, fetchFailures                 metrics.Counter
+	// Policy verdict counters: aggregate overall outcomes across every
+	// evaluation, plus per-rule outcomes for the preloaded policy.
+	policyPass, policyWarn, policyFail metrics.Counter
+	policyRules                        []*ruleMetrics
+	// Batch-stream instrumentation: streams opened, streams currently
+	// open (gauge), records submitted/completed/errored/shed.
+	batchStreams, batchActive                                   metrics.Counter
+	batchRecords, batchCompleted, batchErrors, batchShedRecords metrics.Counter
 }
 
 func (m *serverMetrics) endpoint(name string) *endpointMetrics {
@@ -165,10 +187,16 @@ func New(cfg Config) *Server {
 	// Instantiate every endpoint's metrics up front so /metrics exports
 	// zero-valued series from the first scrape (counter absence and
 	// counter zero mean different things to a reconciler).
-	for _, name := range []string{"audit", "libraries", "vulns", "healthz", "metrics"} {
+	for _, name := range []string{"audit", "audit_batch", "libraries", "vulns", "healthz", "metrics"} {
 		s.met.endpoint(name)
 	}
+	if cfg.Policy != nil {
+		for _, r := range cfg.Policy.Rules {
+			s.met.policyRules = append(s.met.policyRules, &ruleMetrics{name: r.Name})
+		}
+	}
 	s.mux.HandleFunc("POST /v1/audit", s.instrument("audit", s.handleAudit))
+	s.mux.HandleFunc("POST /v1/audit/batch", s.instrument("audit_batch", s.handleAuditBatch))
 	s.mux.HandleFunc("GET /v1/libraries", s.instrument("libraries", s.handleLibraries))
 	s.mux.HandleFunc("GET /v1/vulns/{lib}", s.instrument("vulns", s.handleVulns))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
@@ -209,6 +237,14 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		s.Close()
 		return err
 	case err := <-errc:
+		// hs.Serve returning (listener failure) does NOT mean handlers are
+		// done: connections accepted before the failure may still be
+		// mid-request and about to submit to s.jobs. Closing the pool
+		// first was a send-on-closed-channel panic; drain handlers with
+		// Shutdown before stopping the workers, same as the signal path.
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		_ = hs.Shutdown(drainCtx)
 		s.Close()
 		return err
 	}
@@ -273,6 +309,20 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards http.Flusher, which the NDJSON batch endpoint needs for
+// record-by-record delivery — without the passthrough the wrapper hides
+// the underlying writer's flushability and batch output buffers to
+// completion.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// optional interfaces through the wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // instrument wraps a handler with request IDs, status/latency metrics, and
 // one structured log line per request.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
@@ -307,15 +357,31 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// maxClientKeyLen bounds the first X-Forwarded-For hop we will consider:
+// the longest textual IP (IPv6 with a zone) is well under this, and
+// anything longer is an attacker padding rate-limit map keys.
+const maxClientKeyLen = 64
+
 // clientKey identifies the client for rate limiting: the first
-// X-Forwarded-For hop when present (the expected reverse-proxy deployment),
-// else the remote IP.
+// X-Forwarded-For hop when present (the expected reverse-proxy
+// deployment), else the remote IP. XFF is attacker-controlled, so it only
+// counts when it actually parses as an IP — otherwise a client spraying
+// long random header values would mint a fresh ~64KiB bucket per request
+// (until epoch reset) and trivially escape its own bucket. Parsed IPs are
+// canonicalized, so "::1" and "0:0::1" share one bucket.
 func clientKey(r *http.Request) string {
 	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
 		if i := strings.IndexByte(xff, ','); i >= 0 {
 			xff = xff[:i]
 		}
-		return strings.TrimSpace(xff)
+		xff = strings.TrimSpace(xff)
+		if len(xff) <= maxClientKeyLen {
+			if ip := net.ParseIP(xff); ip != nil {
+				return ip.String()
+			}
+		}
+		// Fall through: an unparseable hop is ignored, and the request is
+		// accounted to the peer that actually connected.
 	}
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
 	if err != nil {
@@ -332,6 +398,48 @@ type auditRequest struct {
 	// internal/external classification (default "audit.local").
 	HTML string `json:"html,omitempty"`
 	Host string `json:"host,omitempty"`
+	// Policy selects a policy to evaluate against the audit: the JSON
+	// string "server" for the preloaded policy, an inline JSON policy
+	// object, or a JSON string holding YAML/JSON policy source. When set,
+	// the response becomes {"audit":…,"policy":…}.
+	Policy json.RawMessage `json:"policy,omitempty"`
+}
+
+// resolvePolicy picks the policy for a request: the JSON "policy" member
+// when present, else the ?policy=server query toggle (the only selector a
+// raw-HTML POST can express). isServer reports the preloaded policy was
+// chosen — only that policy has per-rule metric series.
+func (s *Server) resolvePolicy(raw json.RawMessage, query string) (pol *policy.Policy, isServer bool, err error) {
+	if len(raw) == 0 {
+		switch query {
+		case "":
+			return nil, false, nil
+		case "server", "1", "true":
+			raw = []byte(`"server"`)
+		default:
+			return nil, false, fmt.Errorf("unknown policy selector %q (want server)", query)
+		}
+	}
+	if len(raw) > policy.MaxSourceBytes {
+		return nil, false, fmt.Errorf("inline policy larger than %d bytes", policy.MaxSourceBytes)
+	}
+	var src string
+	if json.Unmarshal(raw, &src) == nil {
+		switch src {
+		case "server", "default":
+			if s.cfg.Policy == nil {
+				return nil, false, fmt.Errorf("no server policy is loaded")
+			}
+			return s.cfg.Policy, true, nil
+		default:
+			// A string that is not a selector is inline policy source
+			// (YAML or JSON) passed through as text.
+			pol, err = policy.Compile([]byte(src))
+			return pol, false, err
+		}
+	}
+	pol, err = policy.Compile(raw)
+	return pol, false, err
 }
 
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
@@ -356,12 +464,14 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 
 	html := string(body)
 	host := r.URL.Query().Get("host")
+	var polRaw json.RawMessage
 	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
 		var req auditRequest
 		if err := json.Unmarshal(body, &req); err != nil {
 			http.Error(w, "invalid JSON body", http.StatusBadRequest)
 			return
 		}
+		polRaw = req.Policy
 		switch {
 		case req.URL != "":
 			if s.cfg.Fetch == nil {
@@ -399,40 +509,115 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	if host == "" {
 		host = "audit.local"
 	}
+	pol, isServerPol, err := s.resolvePolicy(polRaw, r.URL.Query().Get("policy"))
+	if err != nil {
+		http.Error(w, "bad policy: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	now := s.cfg.Now()
 
 	key := cacheKey{hash: fnv1a64(html), n: len(html), host: host}
+	var respBytes []byte
 	if s.cache != nil {
 		if cached, ok := s.cache.get(key); ok {
 			s.met.cacheHits.Inc()
 			w.Header().Set("X-Cache", "hit")
-			writeJSONBytes(w, cached)
+			respBytes = cached
+		}
+	}
+	if respBytes == nil {
+		job := &auditJob{html: html, host: host, now: now, reply: make(chan []byte, 1)}
+		if !s.submit(job) {
+			s.met.shedQueue.Inc()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "audit queue full", http.StatusServiceUnavailable)
+			return
+		}
+		select {
+		case resp := <-job.reply:
+			s.cacheStore(key, resp)
+			if s.cache != nil {
+				// Misses only exist where a cache does: with caching
+				// disabled the counter stays zero instead of narrating
+				// traffic a nonexistent cache never saw.
+				s.met.cacheMisses.Inc()
+				w.Header().Set("X-Cache", "miss")
+			}
+			respBytes = resp
+		case <-r.Context().Done():
+			// The client went away after the audit was admitted. The work
+			// is already paid for — drain the worker's buffered reply and
+			// bank it in the cache so the client's retry is a hit, rather
+			// than dropping a fully-computed response on the floor.
+			if s.cache != nil {
+				s.cacheStore(key, <-job.reply)
+			}
+			http.Error(w, "client closed request", http.StatusServiceUnavailable)
 			return
 		}
 	}
-
-	job := &auditJob{html: html, host: host, now: s.cfg.Now(), reply: make(chan []byte, 1)}
-	select {
-	case s.jobs <- job:
-	default:
-		s.met.shedQueue.Inc()
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "audit queue full", http.StatusServiceUnavailable)
+	if pol == nil {
+		writeJSONBytes(w, respBytes)
 		return
 	}
+	verdictJSON, verdict, err := evalPolicy(pol, respBytes, now)
+	if err != nil {
+		http.Error(w, "policy evaluation failed", http.StatusInternalServerError)
+		return
+	}
+	s.observeVerdict(verdict, isServerPol)
+	w.Header().Set("X-Policy-Verdict", verdict.Overall)
+	writeJSONBytes(w, policyEnvelope(respBytes, verdictJSON))
+}
+
+// submit tries to queue one audit without blocking; false means the queue
+// is full and the caller must shed.
+func (s *Server) submit(job *auditJob) bool {
 	select {
-	case resp := <-job.reply:
-		if s.cache != nil {
-			if ev := s.cache.add(key, resp); ev > 0 {
-				s.met.cacheEvictions.Add(int64(ev))
-			}
+	case s.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// cacheStore banks a serialized response, charging evictions to metrics.
+func (s *Server) cacheStore(key cacheKey, resp []byte) {
+	if s.cache == nil {
+		return
+	}
+	if ev := s.cache.add(key, resp); ev > 0 {
+		s.met.cacheEvictions.Add(int64(ev))
+	}
+}
+
+// observeVerdict feeds a policy evaluation into /metrics: aggregate
+// overall counters always, per-rule counters only for the preloaded
+// policy (bounded cardinality — its rule list is fixed at startup).
+func (s *Server) observeVerdict(v policy.Verdict, isServerPol bool) {
+	switch v.Overall {
+	case "fail":
+		s.met.policyFail.Inc()
+	case "warn":
+		s.met.policyWarn.Inc()
+	default:
+		s.met.policyPass.Inc()
+	}
+	if !isServerPol {
+		return
+	}
+	for i, rv := range v.Rules {
+		if i >= len(s.met.policyRules) {
+			break
 		}
-		s.met.cacheMisses.Inc()
-		w.Header().Set("X-Cache", "miss")
-		writeJSONBytes(w, resp)
-	case <-r.Context().Done():
-		// The client went away; the buffered reply lets the worker finish
-		// without blocking. Nothing useful can be written.
-		http.Error(w, "client closed request", http.StatusServiceUnavailable)
+		switch rv.Outcome {
+		case "fail":
+			s.met.policyRules[i].fail.Inc()
+		case "warn":
+			s.met.policyRules[i].warn.Inc()
+		default:
+			s.met.policyRules[i].pass.Inc()
+		}
 	}
 }
 
@@ -456,6 +641,7 @@ func (s *Server) handleLibraries(w http.ResponseWriter, _ *http.Request) {
 type vulnEntry struct {
 	ID        string `json:"id"`
 	Attack    string `json:"attack"`
+	Severity  string `json:"severity"`
 	CVERange  string `json:"cve_range"`
 	TrueRange string `json:"true_range"`
 	// Accuracy classifies the CVE range against the validated range over

@@ -120,6 +120,20 @@ const (
 	AttackMissingAuth        AttackType = "Missing Authorization"
 )
 
+// Severity maps an attack class onto a coarse CVSS-style tier, the field
+// audit policies gate on ("fail if any HIGH CVE older than 90 days").
+// Classes that hand an attacker script execution or authorization are
+// "high"; availability-only classes are "medium".
+func (a AttackType) Severity() string {
+	switch a {
+	case AttackXSS, AttackPrototypePollution, AttackCodeInjection, AttackMissingAuth:
+		return "high"
+	case AttackResourceExhaustion, AttackReDoS:
+		return "medium"
+	}
+	return "medium"
+}
+
 // Advisory is one publicly-reported vulnerability of a client-side library.
 type Advisory struct {
 	// ID is the CVE identifier, or a synthetic identifier for the

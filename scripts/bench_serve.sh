@@ -13,7 +13,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_serve.json}"
 
-raw=$(go test -run '^$' -bench 'BenchmarkServeAudit' \
+raw=$(go test -run '^$' -bench 'BenchmarkServe(Audit|Batch)' \
 	-benchmem -benchtime "$BENCHTIME" .)
 printf '%s\n' "$raw"
 

@@ -30,7 +30,7 @@ go test -run '^$' -fuzz '^FuzzSignatureScan$' -fuzztime "$FUZZTIME" ./internal/f
 # their own observation counts (BenchmarkServeAudit additionally reconciles
 # the service's /metrics counters against the load it generated).
 echo "==> bench smoke (store read/write/decode + fingerprint memo + signature scan + serve audit, 1 iteration)"
-go test -run '^$' -bench 'BenchmarkStoreReadSegments|BenchmarkStoreDecodeSegment|BenchmarkStoreWrite|BenchmarkFingerprintMemo|BenchmarkSignatureScan|BenchmarkServeAudit' \
+go test -run '^$' -bench 'BenchmarkStoreReadSegments|BenchmarkStoreDecodeSegment|BenchmarkStoreWrite|BenchmarkFingerprintMemo|BenchmarkSignatureScan|BenchmarkServeAudit|BenchmarkServeBatch' \
 	-benchmem -benchtime 1x .
 
 # Chaos-crawl smoke: an end-to-end cmd/crawl run with fault injection and
@@ -152,5 +152,79 @@ curl -fsS "$base/metrics" | grep -q 'clientres_audit_cache_misses_total 1'
 kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "serve did not stop cleanly"; cat "$tmp/serve.log"; exit 1; }
 grep -q "drained and stopped" "$tmp/serve.log"
+
+# Policy + batch smoke: a serve instance preloaded with a failing policy
+# and a pinned clock. A 3-record NDJSON batch must stream one verdict line
+# per record plus an exactly-reconciling summary; the offline batch gate
+# (cmd/analyze -batch) must emit byte-identical lines and exit 1; and the
+# auditsite example gated by the same policy must exit nonzero both
+# in-process and against the server.
+echo "==> policy + batch smoke (server policy, NDJSON batch, offline equivalence, auditsite gate)"
+cat >"$tmp/gate.yaml" <<'EOF'
+name: ci gate
+rules:
+  - name: stale-high
+    scope: finding
+    when: severity == "high" && age(disclosed) > 90d
+  - name: missing-sri
+    when: missing_sri > 0
+EOF
+"$tmp/serve" -addr 127.0.0.1:0 -fetch=false -policy "$tmp/gate.yaml" \
+	-now 2026-01-02T12:00:00Z >"$tmp/pserve.out" 2>"$tmp/pserve.log" &
+pserve_pid=$!
+pbase=""
+for _ in $(seq 1 100); do
+	pbase=$(sed -n 's|^serving on ||p' "$tmp/pserve.out")
+	[ -n "$pbase" ] && break
+	sleep 0.1
+done
+[ -n "$pbase" ] || { echo "policy serve never came up"; cat "$tmp/pserve.log"; exit 1; }
+
+# Single audit selecting the preloaded policy: the response becomes the
+# {"audit":…,"policy":…} envelope and the verdict header is set.
+curl -fsS -X POST --data-binary \
+	'<script src="https://code.jquery.com/jquery-1.12.4.min.js"></script>' \
+	"$pbase/v1/audit?host=smoke.test&policy=server" >"$tmp/policy-single.json"
+grep -q '"overall":"fail"' "$tmp/policy-single.json"
+grep -q '"rule":"stale-high"' "$tmp/policy-single.json"
+
+# 3-record batch: a vulnerable page (fail), a clean page (pass), and a url
+# record (per-record error) — 3 record lines plus the summary.
+cat >"$tmp/batch.ndjson" <<'EOF'
+{"html":"<script src=\"https://code.jquery.com/jquery-1.12.4.min.js\"></script>","host":"smoke.test"}
+{"html":"<p>no scripts here</p>","host":"smoke.test"}
+{"url":"https://smoke.test/"}
+EOF
+curl -fsS -X POST -H 'Content-Type: application/x-ndjson' \
+	--data-binary @"$tmp/batch.ndjson" \
+	"$pbase/v1/audit/batch?policy=server" >"$tmp/batch-online.out"
+[ "$(wc -l <"$tmp/batch-online.out")" -eq 4 ] || {
+	echo "batch reply is not 3 records + summary:"; cat "$tmp/batch-online.out"; exit 1; }
+grep -q '"index":0.*"overall":"fail"' "$tmp/batch-online.out"
+grep -q '"index":1.*"overall":"pass"' "$tmp/batch-online.out"
+grep -q '"index":2,"error"' "$tmp/batch-online.out"
+grep -q '"summary":{"records":3,"completed":2,"errors":1,"shed":0,"overall":"fail"}' "$tmp/batch-online.out"
+
+# Offline equivalence: the same records through cmd/analyze -batch with the
+# same policy and clock must produce byte-identical lines and exit 1.
+if go run ./cmd/analyze -batch "$tmp/batch.ndjson" -policy "$tmp/gate.yaml" \
+	-now 2026-01-02T12:00:00Z >"$tmp/batch-offline.out" 2>/dev/null; then
+	echo "analyze -batch exited 0 on a failing batch"; exit 1
+fi
+cmp "$tmp/batch-online.out" "$tmp/batch-offline.out" || {
+	echo "offline batch output differs from the online endpoint"; exit 1; }
+
+# The gated example must exit nonzero on the failing sample page — both
+# the in-process evaluator and the server round trip.
+if go run ./examples/auditsite -policy "$tmp/gate.yaml" -now 2026-01-02T12:00:00Z >/dev/null; then
+	echo "auditsite -policy exited 0 on a failing page"; exit 1
+fi
+if go run ./examples/auditsite -serve "$pbase" -policy "$tmp/gate.yaml" >/dev/null; then
+	echo "auditsite -serve -policy exited 0 on a failing page"; exit 1
+fi
+
+kill -TERM "$pserve_pid"
+wait "$pserve_pid" || { echo "policy serve did not stop cleanly"; cat "$tmp/pserve.log"; exit 1; }
+grep -q "drained and stopped" "$tmp/pserve.log"
 
 echo "OK"
