@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-store bench-crawl bench-serve bench-fingerprint check fuzz-smoke
+.PHONY: build test race bench bench-store bench-crawl bench-serve bench-fingerprint bench-bundle check fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,12 @@ bench-serve:
 # measurement: make bench-fingerprint BENCHTIME=2s).
 bench-fingerprint:
 	BENCHTIME=$(BENCHTIME) sh scripts/bench_fingerprint.sh
+
+# bench-bundle runs the record/replay ablation (plain vs recording crawl,
+# plus the zero-network replay crawl) with -benchmem and appends results
+# to BENCH_bundle.json (longer measurement: make bench-bundle BENCHTIME=2s).
+bench-bundle:
+	BENCHTIME=$(BENCHTIME) sh scripts/bench_bundle.sh
 
 # check is the full verification gate: vet + build + race tests + short
 # fuzz smoke runs (FUZZTIME=3s by default; override: make check FUZZTIME=30s).

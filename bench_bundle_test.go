@@ -1,0 +1,117 @@
+package clientres
+
+// Record/replay throughput ablation. BenchmarkBundleRecord crawls one
+// synthetic week over loopback HTTP plain and recording into a
+// web-execution bundle, pricing the archive tax (JSON encode + gzip +
+// segment routing on every fetch). BenchmarkBundleReplay crawls the same
+// week from the mounted bundle — no sockets, no server, no listener in
+// the loop at all — measuring the zero-network crawl. Both report
+// pages/s; `make bench-bundle` appends machine-readable results to
+// BENCH_bundle.json.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"clientres/internal/crawler"
+	"clientres/internal/webgen"
+	"clientres/internal/webserver"
+	"clientres/internal/wexbundle"
+)
+
+func bundleBenchEco(b *testing.B) (*webgen.Ecosystem, []string) {
+	b.Helper()
+	eco := webgen.New(webgen.Config{Domains: 300, Seed: 9})
+	domains := make([]string, len(eco.Sites))
+	for i, s := range eco.Sites {
+		domains[i] = s.Domain.Name
+	}
+	return eco, domains
+}
+
+func crawlWeekLoop(b *testing.B, cr *crawler.Crawler, week int, domains []string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := cr.CrawlWeek(context.Background(), week, domains, func(crawler.Page) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func reportPages(b *testing.B, domains []string) {
+	pages := float64(b.N) * float64(len(domains))
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(pages/sec, "pages/s")
+	}
+}
+
+func BenchmarkBundleRecord(b *testing.B) {
+	for _, mode := range []string{"plain", "record"} {
+		b.Run(mode, func(b *testing.B) {
+			eco, domains := bundleBenchEco(b)
+			srv := httptest.NewServer(webserver.New(eco))
+			defer srv.Close()
+			cfg := crawler.Config{BaseURL: srv.URL, Workers: 32}
+			var bw *wexbundle.Writer
+			if mode == "record" {
+				var err error
+				bw, err = wexbundle.Create(filepath.Join(b.TempDir(), "bundle"), wexbundle.Options{Segments: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg.WrapTransport = func(inner http.RoundTripper) http.RoundTripper {
+					return &wexbundle.RecordingTransport{Inner: inner, W: bw}
+				}
+			}
+			cr := crawler.New(cfg)
+			b.ResetTimer()
+			crawlWeekLoop(b, cr, 0, domains)
+			b.StopTimer()
+			reportPages(b, domains)
+			if bw != nil {
+				if err := bw.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBundleReplay(b *testing.B) {
+	eco, domains := bundleBenchEco(b)
+	srv := httptest.NewServer(webserver.New(eco))
+	dir := filepath.Join(b.TempDir(), "bundle")
+	bw, err := wexbundle.Create(dir, wexbundle.Options{Segments: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := crawler.New(crawler.Config{
+		BaseURL: srv.URL, Workers: 32,
+		WrapTransport: func(inner http.RoundTripper) http.RoundTripper {
+			return &wexbundle.RecordingTransport{Inner: inner, W: bw}
+		},
+	})
+	if err := rec.CrawlWeek(context.Background(), 0, domains, func(crawler.Page) {}); err != nil {
+		b.Fatal(err)
+	}
+	if err := bw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	srv.Close() // the replay loop must not need it
+
+	bun, err := wexbundle.Mount(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cr := crawler.New(crawler.Config{
+		BaseURL: "http://wexbundle.invalid", Workers: 32,
+		WrapTransport: func(http.RoundTripper) http.RoundTripper { return bun.Transport() },
+	})
+	b.ResetTimer()
+	crawlWeekLoop(b, cr, 0, domains)
+	b.StopTimer()
+	reportPages(b, domains)
+}

@@ -85,6 +85,16 @@ type Config struct {
 	// pages — the common case week over week — skip re-fingerprinting;
 	// results are identical either way.
 	FingerprintCacheSize int
+	// RecordBundle, when set (with Crawl), archives every fetched response
+	// — landing pages and same-site scripts, raw bytes plus headers,
+	// status, and timing — into a web-execution bundle at this directory.
+	// Reports are byte-identical with recording on or off.
+	RecordBundle string
+	// ReplayBundle, when set (with Crawl), re-runs the crawl from a
+	// recorded bundle with zero network: no listener is opened and the
+	// crawler's transport serves only archived responses. A replayed run's
+	// report is byte-identical to the live run that recorded the bundle.
+	ReplayBundle string
 	// Progress receives one line per collected week, when set.
 	Progress func(format string, args ...any)
 }
@@ -110,6 +120,8 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 		Resilience: crawler.Resilience{Enabled: cfg.PoliteCrawl},
 		StorePath:  cfg.StorePath, StoreSegments: cfg.StoreSegments,
 		FingerprintCacheSize: cfg.FingerprintCacheSize,
+		RecordBundle:         cfg.RecordBundle,
+		ReplayBundle:         cfg.ReplayBundle,
 		Progress:             cfg.Progress,
 	})
 	if err != nil {

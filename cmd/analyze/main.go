@@ -16,10 +16,12 @@
 //	analyze -in observations.jsonl.gz -weeks 201 -domains 20000 -shards 8
 //	analyze -in observations.store -shards 8 -cpuprofile analyze.pprof
 //	analyze -batch pages.ndjson -policy gate.yaml -now 2026-01-02T12:00:00Z
+//	analyze -bundle crawl.bundle -shards 8   # replay a recorded bundle, zero network
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +35,7 @@ import (
 	"clientres/internal/service"
 	"clientres/internal/store"
 	"clientres/internal/webgen"
+	"clientres/internal/wexbundle"
 )
 
 func main() {
@@ -42,7 +45,9 @@ func main() {
 	shards := flag.Int("shards", 1, "parallel analysis shards (results identical to -shards 1)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	bundleScan := flag.Bool("bundle-scan", false, "append a bundle-detection summary: how many library detections came from content signatures vs URLs")
+	bundleScan := flag.Bool("bundle-scan", false, "append a bundle-detection summary: how many library detections came from content signatures vs URLs (with -bundle: fetch and scan same-site scripts during the replay)")
+	bundle := flag.String("bundle", "", "replay-audit mode: re-crawl this recorded web-execution bundle with zero network instead of reading a store (-domains/-weeks/-seed/-bundle-scan default from the bundle's metadata)")
+	seed := flag.Int64("seed", 1, "generation seed of the recorded run (with -bundle)")
 	batch := flag.String("batch", "", "offline batch-audit mode: NDJSON records file (- for stdin), same protocol as POST /v1/audit/batch")
 	policyFile := flag.String("policy", "", "policy file (YAML or JSON) evaluated against each -batch record")
 	nowFlag := flag.String("now", "", "audit clock as RFC3339 for -batch (default wall clock)")
@@ -60,7 +65,12 @@ func main() {
 		log.Fatalf("analyze: %v", err)
 	}
 
-	res, err := core.RunFromStore(*in, *weeks, *domains, *shards)
+	var res *core.Results
+	if *bundle != "" {
+		res, err = runBundle(*bundle, *weeks, *domains, *seed, *shards, *bundleScan)
+	} else {
+		res, err = core.RunFromStore(*in, *weeks, *domains, *shards)
+	}
 	stopCPU()
 	if err != nil {
 		log.Fatalf("analyze: %v", err)
@@ -71,11 +81,40 @@ func main() {
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	res.WriteReport(w)
-	if *bundleScan {
+	if *bundleScan && *bundle == "" {
 		if err := writeBundleSummary(w, *in); err != nil {
 			log.Fatalf("analyze: %v", err)
 		}
 	}
+}
+
+// runBundle re-crawls a recorded bundle through the full pipeline with a
+// replay transport — zero network, byte-identical report to the live run
+// that recorded it. The recorded run's -domains/-weeks/-seed/-bundle-scan
+// come from bundle.json unless set explicitly on the command line.
+func runBundle(dir string, weeks, domains int, seed int64, shards int, bundleScan bool) (*core.Results, error) {
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if meta, err := wexbundle.ReadMeta(dir); err == nil {
+		if !set["domains"] && meta.Domains > 0 {
+			domains = meta.Domains
+		}
+		if !set["weeks"] && meta.Weeks > 0 {
+			weeks = meta.Weeks
+		}
+		if !set["seed"] && meta.Seed != 0 {
+			seed = meta.Seed
+		}
+		if !set["bundle-scan"] {
+			bundleScan = meta.BundleScan
+		}
+	}
+	return core.Run(context.Background(), core.Config{
+		Domains: domains, Weeks: weeks, Seed: seed,
+		Mode: core.ModeCrawl, Shards: shards,
+		BundleScan:   bundleScan,
+		ReplayBundle: dir,
+	})
 }
 
 // runBatch is the offline audit gate: service.RunBatch over a records

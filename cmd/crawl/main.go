@@ -11,6 +11,8 @@
 //	crawl -politeness -chaos 0.2 -weeks 8 -out drill.jsonl.gz   # fault drill
 //	crawl -checkpoint -out crawl.store       # journal every completed week
 //	crawl -resume -out crawl.store           # continue a crashed run
+//	crawl -record crawl.bundle -out crawl.store   # archive every response
+//	crawl -replay crawl.bundle -out replay.store  # re-crawl with zero network
 package main
 
 import (
@@ -51,6 +53,8 @@ func main() {
 	resume := flag.Bool("resume", false, "resume a crashed -checkpoint run from its journal: verify and replay the committed weeks, then continue at the first incomplete week (implies -checkpoint)")
 	bundleFrac := flag.Float64("bundle-frac", 0, "fraction of eligible generated sites that ship their libraries as one bundled script (0 disables; bundles hide library URLs from the fingerprinter)")
 	bundleScan := flag.Bool("bundle-scan", false, "fetch each page's same-site scripts and scan their content for library signatures (recovers bundled libraries; plain pages detect identically either way)")
+	record := flag.String("record", "", "record every fetched response into a web-execution bundle at this directory (honors -checkpoint/-resume; reports are identical either way)")
+	replay := flag.String("replay", "", "replay the crawl from a recorded bundle directory with zero network (no loopback server is started)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -78,9 +82,11 @@ func main() {
 		},
 		ChaosRate:  *chaos,
 		ChaosSeed:  *chaosSeed,
-		Checkpoint: *checkpoint,
-		Resume:     *resume,
-		SkipPoC:    true,
+		Checkpoint:   *checkpoint,
+		Resume:       *resume,
+		RecordBundle: *record,
+		ReplayBundle: *replay,
+		SkipPoC:      true,
 		Progress: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

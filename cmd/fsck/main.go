@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"clientres/internal/store"
+	"clientres/internal/wexbundle"
 )
 
 func main() {
@@ -71,7 +72,35 @@ func main() {
 		}
 		fmt.Printf("%s: ok — %s, %d segments, %d records, all checksums valid%s\n",
 			*dir, formatName(in.Manifest.Version), in.Manifest.Segments, in.TotalRecords, salvaged)
+		if in.Manifest.Version == store.FormatBundle {
+			if err := printBundleStats(*dir); err != nil {
+				log.Fatalf("fsck: %v", err)
+			}
+		}
 	}
+}
+
+// printBundleStats renders a verified bundle's per-week recording profile:
+// archived fetches, landing pages among them, raw body bytes, and
+// preserved failures.
+func printBundleStats(dir string) error {
+	stats, err := wexbundle.Stats(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  week  records    pages   body bytes  failures\n")
+	var recs, pages, fails int
+	var bytes int64
+	for _, st := range stats {
+		fmt.Printf("  %4d  %7d  %7d  %11d  %8d\n",
+			st.Week, st.Records, st.Pages, st.BodyBytes, st.Failures)
+		recs += st.Records
+		pages += st.Pages
+		bytes += st.BodyBytes
+		fails += st.Failures
+	}
+	fmt.Printf("  all   %7d  %7d  %11d  %8d\n", recs, pages, bytes, fails)
+	return nil
 }
 
 // formatName renders a store format / manifest version for humans.
@@ -83,6 +112,8 @@ func formatName(v int) string {
 		return "format v2 (framed records)"
 	case store.FormatDelta:
 		return "format v3 (delta streams)"
+	case store.FormatBundle:
+		return "format v4 (web-execution bundle)"
 	case 0:
 		return "format unknown (empty)"
 	default:

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -24,6 +25,7 @@ import (
 	"clientres/internal/crawler"
 	"clientres/internal/policy"
 	"clientres/internal/service"
+	"clientres/internal/wexbundle"
 )
 
 func main() {
@@ -39,6 +41,7 @@ func main() {
 	fetchTimeout := flag.Duration("fetch-timeout", 10*time.Second, "per-fetch timeout for url audits")
 	policyFile := flag.String("policy", "", "server policy file (YAML or JSON); clients select it with \"policy\":\"server\" or ?policy=server")
 	nowFlag := flag.String("now", "", "pin the audit clock to an RFC3339 instant (deterministic verdicts; default wall clock)")
+	bundle := flag.String("bundle", "", "serve {\"url\": ...} audits from this recorded web-execution bundle instead of the live network (zero network; unrecorded URLs error)")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -72,14 +75,24 @@ func main() {
 		cfg.Now = func() time.Time { return t }
 	}
 	if *fetchURLs {
-		cr := crawler.New(crawler.Config{
+		ccfg := crawler.Config{
 			Timeout:   *fetchTimeout,
 			UserAgent: "clientres-audit-service/1.0",
 			Resilience: crawler.Resilience{
 				Enabled:     true,
 				RetryBudget: -1, // online fetches have no weekly budget
 			},
-		})
+		}
+		if *bundle != "" {
+			b, err := wexbundle.Mount(*bundle)
+			if err != nil {
+				log.Error("bundle", "err", err)
+				os.Exit(1)
+			}
+			ccfg.WrapTransport = func(http.RoundTripper) http.RoundTripper { return b.Transport() }
+			log.Info("bundle mounted", "dir", *bundle, "records", b.Len())
+		}
+		cr := crawler.New(ccfg)
 		cfg.Fetch = func(ctx context.Context, url string) (int, string, error) {
 			p := cr.FetchURL(ctx, url)
 			return p.Status, p.Body, p.Err

@@ -1,0 +1,160 @@
+// Vulndbdiff: the archival payoff of web-execution bundles. A crawl
+// recorded into a bundle can be re-audited years later against a *newer*
+// advisory database with zero network — the archive holds the raw bytes,
+// so no finding is hostage to what the vulnerability database knew on
+// crawl day.
+//
+// The example records a small ecosystem crawl into a bundle (or mounts an
+// existing one), then audits the archived landing pages twice: once under
+// the advisory set as it stood at -cutoff (vulndb.AdvisoriesDisclosedBy —
+// the compiled-in database's historical view), and once under the full
+// current set. The delta table lists every advisory disclosed after the
+// cutoff and how many archived pages it affects: vulnerabilities that were
+// sitting in the archive all along, invisible until disclosure.
+//
+//	go run ./examples/vulndbdiff                       # record, then diff
+//	go run ./examples/vulndbdiff -bundle crawl.bundle  # diff an existing archive
+//	go run ./examples/vulndbdiff -cutoff 2019-06-30 -week 5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"clientres"
+	"clientres/internal/fingerprint"
+	"clientres/internal/vulndb"
+	"clientres/internal/wexbundle"
+)
+
+func main() {
+	bundleDir := flag.String("bundle", "", "existing bundle directory to re-audit; empty records a fresh one into a temp dir")
+	domains := flag.Int("domains", 80, "domains to record (without -bundle)")
+	weeks := flag.Int("weeks", 6, "weeks to record (without -bundle)")
+	seed := flag.Int64("seed", 7, "generation seed (without -bundle)")
+	cutoff := flag.String("cutoff", "2019-06-30", "audit-day advisory horizon (YYYY-MM-DD): the database as the crawl's operators knew it")
+	week := flag.Int("week", -1, "archived week to re-audit (-1 = the last recorded week)")
+	flag.Parse()
+
+	dir := *bundleDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "vulndbdiff-")
+		if err != nil {
+			log.Fatalf("vulndbdiff: %v", err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = filepath.Join(tmp, "crawl.bundle")
+		fmt.Printf("recording %d domains x %d weeks into %s ...\n", *domains, *weeks, dir)
+		_, err = clientres.Run(context.Background(), clientres.Config{
+			Domains: *domains, Weeks: *weeks, Seed: *seed,
+			Crawl: true, RecordBundle: dir,
+		})
+		if err != nil {
+			log.Fatalf("vulndbdiff: record: %v", err)
+		}
+	}
+
+	cut, err := time.Parse("2006-01-02", *cutoff)
+	if err != nil {
+		log.Fatalf("vulndbdiff: bad -cutoff: %v", err)
+	}
+
+	b, err := wexbundle.Mount(dir)
+	if err != nil {
+		log.Fatalf("vulndbdiff: %v", err)
+	}
+	recs := b.Records()
+	auditWeek := *week
+	if auditWeek < 0 {
+		for _, r := range recs {
+			if r.Week > auditWeek {
+				auditWeek = r.Week
+			}
+		}
+	}
+
+	// Re-fingerprint the archived pages of the audit week. Zero network:
+	// every byte below comes from the mounted archive.
+	old := vulndb.AdvisoriesDisclosedBy(cut)
+	oldIDs := make(map[string]bool, len(old))
+	for _, a := range old {
+		oldIDs[a.ID] = true
+	}
+	all := vulndb.Advisories()
+
+	type hit struct {
+		pages   int
+		domains []string
+	}
+	affected := make(map[string]*hit) // advisory ID -> archived pages it affects
+	pages, vulnOld, vulnNew := 0, 0, 0
+	for _, rec := range recs {
+		if rec.Week != auditWeek || !rec.IsPage() || rec.Status != 200 {
+			continue
+		}
+		pages++
+		det := fingerprint.Page(rec.Body, rec.Domain)
+		pageOld, pageNew := false, false
+		for _, lib := range det.Libraries {
+			if !lib.Known || lib.Version.IsZero() {
+				continue
+			}
+			for _, adv := range vulndb.AdvisoriesFor(lib.Slug) {
+				if !adv.EffectiveTrueRange().Contains(lib.Version) {
+					continue
+				}
+				pageNew = true
+				if oldIDs[adv.ID] {
+					pageOld = true
+					continue
+				}
+				h := affected[adv.ID]
+				if h == nil {
+					h = &hit{}
+					affected[adv.ID] = h
+				}
+				h.pages++
+				if len(h.domains) < 3 {
+					h.domains = append(h.domains, rec.Domain)
+				}
+			}
+		}
+		if pageOld {
+			vulnOld++
+		}
+		if pageNew {
+			vulnNew++
+		}
+	}
+
+	fmt.Printf("re-audit of %s: week %d, %d archived pages, zero network\n", dir, auditWeek, pages)
+	fmt.Printf("advisory set: disclosed <= %s held %d advisories; current set holds %d\n\n",
+		*cutoff, len(old), len(all))
+	fmt.Printf("  %-18s %-12s %-11s %-20s %s\n", "advisory", "library", "disclosed", "attack", "affected pages")
+
+	var rows []vulndb.Advisory
+	for _, a := range all {
+		if !oldIDs[a.ID] && affected[a.ID] != nil {
+			rows = append(rows, a)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Disclosed.Before(rows[j].Disclosed) })
+	for _, a := range rows {
+		h := affected[a.ID]
+		fmt.Printf("  %-18s %-12s %-11s %-20s %6d   (e.g. %s)\n",
+			a.ID, a.Lib, a.Disclosed.Format("2006-01-02"), a.Attack, h.pages, h.domains[0])
+	}
+	if len(rows) == 0 {
+		fmt.Println("  (no newly-disclosed advisory affects any archived page)")
+	}
+	fmt.Printf("\nvulnerable pages under the %s database: %d of %d\n", *cutoff, vulnOld, pages)
+	fmt.Printf("vulnerable pages under the current database:  %d of %d (+%d found only by re-auditing the archive)\n",
+		vulnNew, pages, vulnNew-vulnOld)
+	fmt.Printf("newly-disclosed advisories with matches in the archive: %d\n", len(rows))
+}

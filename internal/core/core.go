@@ -23,6 +23,7 @@ import (
 	"clientres/internal/store"
 	"clientres/internal/webgen"
 	"clientres/internal/webserver"
+	"clientres/internal/wexbundle"
 )
 
 // Mode selects how snapshots are collected.
@@ -105,6 +106,20 @@ type Config struct {
 	// continues at the first incomplete week. The resumed run's report is
 	// byte-identical to an uninterrupted run of the same configuration.
 	Resume bool
+	// RecordBundle, when set (ModeCrawl), archives every fetch — landing
+	// page and same-site scripts, raw bytes, headers, status, timing —
+	// into a web-execution bundle at this directory, sharing the store's
+	// segment count, checkpoint cadence, and resume machinery: a killed
+	// recording resumes without re-fetching committed weeks. Recording
+	// changes no observation — a recorded run's report is byte-identical
+	// to an unrecorded one.
+	RecordBundle string
+	// ReplayBundle, when set (ModeCrawl), replays the crawl from a
+	// recorded bundle with zero network: no listener, no web server — the
+	// crawler's transport is the mounted bundle, and a fetch the bundle
+	// does not hold is an error, never a live request. A replayed run's
+	// report is byte-identical to the live run that recorded it.
+	ReplayBundle string
 	// FingerprintCacheSize bounds the per-shard fingerprint memo cache
 	// used on the crawl path (entries; 0 = default, negative = disable).
 	// Unchanged page bodies — the common case week over week, per the
@@ -249,6 +264,12 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	if cfg.Checkpoint && cfg.StorePath == "" {
 		return nil, fmt.Errorf("core: Checkpoint requires StorePath")
 	}
+	if (cfg.RecordBundle != "" || cfg.ReplayBundle != "") && cfg.Mode != ModeCrawl {
+		return nil, fmt.Errorf("core: bundle record/replay requires ModeCrawl")
+	}
+	if cfg.RecordBundle != "" && cfg.ReplayBundle != "" {
+		return nil, fmt.Errorf("core: RecordBundle and ReplayBundle are mutually exclusive")
+	}
 
 	var writer store.Sink
 	if cfg.StorePath != "" {
@@ -335,6 +356,19 @@ func commitWeek(cfg Config, writer store.Sink, week int) error {
 	}
 	cfg.Progress("week %3d/%d committed", week+1, cfg.Weeks)
 	return nil
+}
+
+// commitBundleWeek makes a recorded week's bundle records durable. It runs
+// before the observation store's commitWeek: the bundle must always be
+// able to replay the store's committed prefix, so across a crash the
+// bundle may be ahead of the store (harmless — the resumed run re-records
+// the week and the duplicates supersede in the replay index) but never
+// behind it. No-op without Checkpoint, matching the store's cadence.
+func commitBundleWeek(cfg Config, bw *wexbundle.Writer, week int) error {
+	if bw == nil || !cfg.Checkpoint {
+		return nil
+	}
+	return bw.CommitWeek(week)
 }
 
 // replayCommitted rebuilds collector state from the committed prefix of a
@@ -486,38 +520,104 @@ func crawlObservation(byName map[string]alexa.Domain, memo *fingerprint.Memo, p 
 // out by domain hash to per-shard analysis workers, so fingerprinting and
 // collection run in parallel with the crawl; the per-shard collector sets
 // merge into res afterwards.
-func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res *Results, writer store.Sink) error {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return err
+//
+// With ReplayBundle no listener or web server exists at all: the crawler's
+// transport is the mounted bundle, and the base URL's host resolves
+// nowhere — nothing in a replayed run can touch the network. With
+// RecordBundle the crawler's transport is wrapped to archive every
+// exchange; the bundle commits each week before the observation store
+// does, so after a crash between the two commits the bundle is never
+// behind the store (wexbundle.Writer.CommitWeek tolerates the re-commit).
+func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res *Results, writer store.Sink) (retErr error) {
+	var wrap func(http.RoundTripper) http.RoundTripper
+	var baseURL string
+	if cfg.ReplayBundle != "" {
+		b, err := wexbundle.Mount(cfg.ReplayBundle)
+		if err != nil {
+			return err
+		}
+		wrap = func(http.RoundTripper) http.RoundTripper { return b.Transport() }
+		baseURL = "http://wexbundle.invalid"
+	} else {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		ws := webserver.New(eco)
+		if cfg.ChaosRate > 0 {
+			ws.Chaos = &webserver.Chaos{Seed: cfg.ChaosSeed, Rate: cfg.ChaosRate}
+		}
+		srv := &http.Server{Handler: ws}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = srv.Serve(ln)
+		}()
+		defer func() {
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shutdownCtx)
+			<-done
+		}()
+		baseURL = "http://" + ln.Addr().String()
 	}
-	ws := webserver.New(eco)
-	if cfg.ChaosRate > 0 {
-		ws.Chaos = &webserver.Chaos{Seed: cfg.ChaosSeed, Rate: cfg.ChaosRate}
+
+	var bw *wexbundle.Writer
+	if cfg.RecordBundle != "" {
+		segments := cfg.StoreSegments
+		if segments < 1 {
+			segments = 1
+		}
+		opt := wexbundle.Options{
+			Segments:   segments,
+			Checkpoint: cfg.Checkpoint,
+			Run:        cfg.runID(),
+			Meta:       wexbundle.Meta{Domains: cfg.Domains, Weeks: cfg.Weeks, Seed: cfg.Seed, BundleScan: cfg.BundleScan},
+		}
+		if cfg.resuming {
+			w, ck, err := wexbundle.Resume(cfg.RecordBundle, opt)
+			if err != nil {
+				return err
+			}
+			if ck.CommittedWeeks < cfg.startWeek {
+				_ = w.Abort()
+				return fmt.Errorf("core: bundle %s committed %d weeks, store committed %d — the bundle cannot replay the store's committed prefix",
+					cfg.RecordBundle, ck.CommittedWeeks, cfg.startWeek)
+			}
+			bw = w
+		} else {
+			w, err := wexbundle.Create(cfg.RecordBundle, opt)
+			if err != nil {
+				return err
+			}
+			bw = w
+		}
+		defer func() {
+			if retErr != nil {
+				// Same discipline as the observation store: a failed run
+				// never writes a manifest; the last bundle checkpoint stays
+				// authoritative for resume and salvage.
+				_ = bw.Abort()
+			} else if cerr := bw.Close(); cerr != nil {
+				retErr = cerr
+			}
+		}()
+		wrap = func(inner http.RoundTripper) http.RoundTripper {
+			return &wexbundle.RecordingTransport{Inner: inner, W: bw}
+		}
 	}
-	srv := &http.Server{Handler: ws}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		_ = srv.Serve(ln)
-	}()
-	defer func() {
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		defer cancel()
-		_ = srv.Shutdown(shutdownCtx)
-		<-done
-	}()
 
 	workers := cfg.Workers
 	if workers == 0 {
 		workers = 64
 	}
 	cr := crawler.New(crawler.Config{
-		BaseURL:      "http://" + ln.Addr().String(),
-		Workers:      workers,
-		Backoff:      crawler.Backoff{Seed: cfg.Seed},
-		Resilience:   cfg.Resilience,
-		FetchScripts: cfg.BundleScan,
+		BaseURL:       baseURL,
+		Workers:       workers,
+		Backoff:       crawler.Backoff{Seed: cfg.Seed},
+		Resilience:    cfg.Resilience,
+		FetchScripts:  cfg.BundleScan,
+		WrapTransport: wrap,
 	})
 	defer func() {
 		snap := cr.Metrics()
@@ -557,6 +657,9 @@ func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res 
 				return obsErr
 			}
 			cfg.Progress("week %3d/%d crawled", w+1, cfg.Weeks)
+			if err := commitBundleWeek(cfg, bw, w); err != nil {
+				return err
+			}
 			if err := commitWeek(cfg, writer, w); err != nil {
 				return err
 			}
@@ -635,6 +738,9 @@ func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res 
 					if e != nil {
 						return e
 					}
+				}
+				if err := commitBundleWeek(cfg, bw, w); err != nil {
+					return err
 				}
 				if err := commitWeek(cfg, writer, w); err != nil {
 					return err

@@ -57,6 +57,12 @@ type Config struct {
 	// URLs) are skipped: the study crawls landing pages only, and the
 	// synthetic web under test serves same-site assets exclusively.
 	FetchScripts bool
+	// WrapTransport, when set, wraps (or replaces) the http.RoundTripper
+	// the crawler would otherwise build — the record/replay seam. The
+	// wexbundle recorder wraps the inner transport to capture every
+	// response; the replayer discards it entirely, so a replayed crawl
+	// cannot touch the network even by accident.
+	WrapTransport func(inner http.RoundTripper) http.RoundTripper
 }
 
 // MaxScriptsPerPage bounds how many same-site scripts one page fetch will
@@ -132,6 +138,11 @@ type Page struct {
 	Scripts []Script
 	// Err is the connection-level error, if any.
 	Err error
+	// Duration is the wall time of the attempt that produced this result
+	// (the successful attempt, or the last failed one). Retried attempts'
+	// backoff sleeps are excluded: this is honest per-fetch timing for
+	// bundle recording, not end-to-end latency.
+	Duration time.Duration
 }
 
 // Script is one fetched same-site script resource.
@@ -140,6 +151,11 @@ type Script struct {
 	URL string
 	// Body is the script content ("" when the fetch failed).
 	Body string
+	// Status is the HTTP status of the script fetch (0 on connection
+	// failure), recorded even though a non-200 script keeps an empty Body.
+	Status int
+	// Duration is the wall time of the attempt that produced this result.
+	Duration time.Duration
 }
 
 // Crawler fetches landing pages.
@@ -161,10 +177,13 @@ type Crawler struct {
 // across fetches.
 func New(cfg Config) *Crawler {
 	cfg = cfg.withDefaults()
-	transport := &http.Transport{
+	var transport http.RoundTripper = &http.Transport{
 		MaxIdleConns:        cfg.Workers * 2,
 		MaxIdleConnsPerHost: cfg.Workers * 2,
 		IdleConnTimeout:     30 * time.Second,
+	}
+	if cfg.WrapTransport != nil {
+		transport = cfg.WrapTransport(transport)
 	}
 	c := &Crawler{
 		cfg:     cfg,
@@ -252,7 +271,7 @@ func (c *Crawler) fetchScripts(ctx context.Context, week int, domain, html strin
 		if sp.Err == nil && sp.Status == http.StatusOK {
 			body = sp.Body
 		}
-		out = append(out, Script{URL: src, Body: body})
+		out = append(out, Script{URL: src, Body: body, Status: sp.Status, Duration: sp.Duration})
 	}
 	return out
 }
@@ -303,7 +322,8 @@ func (c *Crawler) fetch(ctx context.Context, week int, domain, url string) Page 
 				return page
 			}
 		}
-		status, body, err := c.attempt(ctx, url)
+		status, body, dur, err := c.attempt(ctx, url)
+		page.Duration = dur
 		if c.polite != nil {
 			c.polite.Release(domain)
 		}
@@ -339,13 +359,14 @@ func (c *Crawler) fetch(ctx context.Context, week int, domain, url string) Page 
 // a connection rather than an unbounded read.
 const drainLimit = 256 << 10
 
-// attempt performs one HTTP request and returns the status and (truncated)
-// body. Connection-level failures — dial, timeout, mid-body errors — come
-// back as err.
-func (c *Crawler) attempt(ctx context.Context, url string) (status int, body string, err error) {
+// attempt performs one HTTP request and returns the status, (truncated)
+// body, and the attempt's wall time. Connection-level failures — dial,
+// timeout, mid-body errors — come back as err, still with the time the
+// failure took to surface.
+func (c *Crawler) attempt(ctx context.Context, url string) (status int, body string, dur time.Duration, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return 0, "", err
+		return 0, "", 0, err
 	}
 	req.Header.Set("User-Agent", c.cfg.UserAgent)
 	c.metrics.attempts.Add(1)
@@ -353,7 +374,7 @@ func (c *Crawler) attempt(ctx context.Context, url string) (status int, body str
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.metrics.connFailures.Add(1)
-		return 0, "", err
+		return 0, "", time.Since(start), err
 	}
 	b, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
 	if err == nil {
@@ -362,14 +383,15 @@ func (c *Crawler) attempt(ctx context.Context, url string) (status int, body str
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, drainLimit))
 	}
 	_ = resp.Body.Close()
+	dur = time.Since(start)
 	if err != nil {
 		c.metrics.connFailures.Add(1)
-		return 0, "", err
+		return 0, "", dur, err
 	}
 	c.metrics.successes.Add(1)
 	c.metrics.bytes.Add(int64(len(b)))
-	c.metrics.lat.Record(time.Since(start))
-	return resp.StatusCode, string(b), nil
+	c.metrics.lat.Record(dur)
+	return resp.StatusCode, string(b), dur, nil
 }
 
 // CrawlWeek fetches every domain for one snapshot week on the worker pool

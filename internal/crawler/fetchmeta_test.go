@@ -1,0 +1,83 @@
+package crawler
+
+// Per-fetch metadata: every page and script result carries the HTTP status
+// and the wall time of the attempt that produced it — the raw material the
+// bundle recorder archives and EXPERIMENTS.md's latency tables summarize.
+// Reports never read these fields, so populating them must not change a
+// report (the equivalence suites in internal/core pin that).
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"clientres/internal/webgen"
+	"clientres/internal/webserver"
+)
+
+func TestFetchPopulatesDuration(t *testing.T) {
+	eco, srv := startServer(t, 100)
+	c := New(Config{BaseURL: srv.URL, Timeout: 5 * time.Second})
+	for i := range eco.Sites {
+		if !eco.Truth(i, 0).Accessible {
+			continue
+		}
+		page := c.Fetch(context.Background(), 0, eco.Sites[i].Domain.Name)
+		if page.Err != nil {
+			t.Fatalf("fetch: %v", page.Err)
+		}
+		if page.Duration <= 0 {
+			t.Fatalf("page.Duration = %v, want > 0", page.Duration)
+		}
+		return
+	}
+	t.Fatal("no accessible site found")
+}
+
+func TestFailedFetchPopulatesDuration(t *testing.T) {
+	eco, srv := startServer(t, 300)
+	c := New(Config{BaseURL: srv.URL, Timeout: 2 * time.Second})
+	for i := range eco.Sites {
+		s := eco.Sites[i]
+		if s.DeadFromWeek < 0 {
+			continue
+		}
+		page := c.Fetch(context.Background(), s.DeadFromWeek, s.Domain.Name)
+		if page.Err == nil {
+			t.Fatalf("dead site fetched: status %d", page.Status)
+		}
+		if page.Duration <= 0 {
+			t.Fatalf("failed fetch Duration = %v, want > 0 (the attempt took time)", page.Duration)
+		}
+		return
+	}
+	t.Skip("no dead site in sample")
+}
+
+func TestScriptResultsCarryStatusAndDuration(t *testing.T) {
+	eco := webgen.New(webgen.Config{Domains: 300, Seed: 5,
+		Bundling: webgen.Bundling{Fraction: 0.8, BannerP: 1}})
+	srv := httptest.NewServer(webserver.New(eco))
+	t.Cleanup(srv.Close)
+	c := New(Config{BaseURL: srv.URL, Timeout: 5 * time.Second, FetchScripts: true})
+	for i := range eco.Sites {
+		if !eco.Truth(i, 0).Accessible {
+			continue
+		}
+		page := c.Fetch(context.Background(), 0, eco.Sites[i].Domain.Name)
+		if page.Err != nil || len(page.Scripts) == 0 {
+			continue
+		}
+		for _, s := range page.Scripts {
+			if s.Status != 200 {
+				t.Errorf("script %s: status %d", s.URL, s.Status)
+			}
+			if s.Duration <= 0 {
+				t.Errorf("script %s: Duration = %v, want > 0", s.URL, s.Duration)
+			}
+		}
+		return
+	}
+	t.Skip("no accessible site with scripts in sample")
+}

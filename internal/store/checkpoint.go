@@ -107,10 +107,10 @@ func ReadCheckpoint(dir string) (Checkpoint, error) {
 	if ck.Format == 0 {
 		ck.Format = FormatFramed // journals predating the format field
 	}
-	if ck.Format != FormatFramed && ck.Format != FormatDelta {
+	if ck.Format != FormatFramed && ck.Format != FormatDelta && ck.Format != FormatBundle {
 		return Checkpoint{}, fmt.Errorf("store: %s: checkpoint format %d not supported", dir, ck.Format)
 	}
-	if ck.Format == FormatDelta {
+	if formatHasMembers(ck.Format) {
 		if len(ck.Members) != ck.Segments {
 			return Checkpoint{}, fmt.Errorf("store: %s: checkpoint inconsistent (%d segments, %d member tables)",
 				dir, ck.Segments, len(ck.Members))

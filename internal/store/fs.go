@@ -116,6 +116,14 @@ func atomicWriteFile(fsys FS, path string, data []byte) error {
 	return nil
 }
 
+// AtomicWriteFile commits data to path atomically through fsys (nil = the
+// real filesystem) with the same temp-file + fsync + rename + dir-fsync
+// discipline checkpoints and manifests use — exported for sibling packages
+// (wexbundle's metadata file) layering on the store's durability story.
+func AtomicWriteFile(fsys FS, path string, data []byte) error {
+	return atomicWriteFile(realFS(fsys), path, data)
+}
+
 // FNV-1a parameters — the checksum family of the v2 record frames, the v3
 // member table, and the ShardOf partition function.
 const (

@@ -100,10 +100,17 @@ func verifyMemberTable(path string, members []Member) error {
 	return nil
 }
 
+// VerifyMemberTable is verifyMemberTable for sibling packages: wexbundle
+// proves a bundle's raw bytes against the manifest's member table at mount
+// time, before trusting any decode.
+func VerifyMemberTable(path string, members []Member) error {
+	return verifyMemberTable(path, members)
+}
+
 // sniffFormat reports the record format of a segment file by its first
 // decompressed byte, mirroring decodeStream's dispatch: FormatPlain,
-// FormatFramed, or FormatDelta. An empty stream (a store that committed
-// zero records) reports 0.
+// FormatFramed, FormatDelta, or FormatBundle. An empty stream (a store
+// that committed zero records) reports 0.
 func sniffFormat(path string) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -127,6 +134,8 @@ func sniffFormat(path string) (int, error) {
 		return FormatFramed, nil
 	case fullMark, sameMark, deltaMark:
 		return FormatDelta, nil
+	case BundleMark:
+		return FormatBundle, nil
 	default:
 		return FormatPlain, nil
 	}

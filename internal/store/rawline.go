@@ -1,0 +1,77 @@
+// Raw-line (v4 "bundle") segment streaming.
+//
+// A v4 segment holds records this package treats as opaque: each record is
+// one '!'-marked line whose payload encoding belongs to the wexbundle
+// package. The store still owns everything below the line — gzip members,
+// commit boundaries, member-level FNV-1a checksums, checkpoint/salvage —
+// so a bundle archive inherits the full v3 crash-safety story without the
+// store knowing what a bundle record means.
+
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// BundleMark is the first byte of every v4 record line. Observation
+// records can never start with it ('{', '#', '=', '~', '^' are taken), so
+// one sniffed byte keeps bundle segments and observation segments from
+// ever being confused for each other.
+const BundleMark = '!'
+
+// ForEachRawLine streams every record line of a bundle-format segment file
+// to fn, stripped of the trailing newline but including the leading '!'
+// mark. The line's backing bytes are reused between calls — fn must
+// consume them before returning, not retain them. A record missing its
+// mark, or a stream cut mid-record (torn gzip member, missing final
+// newline), surfaces as a corrupt-stream error; fn's own errors pass
+// through unwrapped.
+func ForEachRawLine(path string, fn func(line []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	gz, err := newGzipReader(f)
+	if err != nil {
+		return fmt.Errorf("store: %s: %w", path, err)
+	}
+	defer gzrPool.Put(gz)
+	br := bufrPool.Get().(*bufio.Reader)
+	br.Reset(gz)
+	defer bufrPool.Put(br)
+	// long accumulates records larger than the pooled reader's buffer —
+	// recorded page bodies routinely exceed 64 KiB.
+	var long []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		switch {
+		case err == nil:
+			line := chunk[:len(chunk)-1]
+			if len(long) > 0 {
+				long = append(long, line...)
+				line = long
+			}
+			if len(line) == 0 || line[0] != BundleMark {
+				return fmt.Errorf("store: %s: corrupt stream: record missing %q mark", path, string(BundleMark))
+			}
+			if err := fn(line); err != nil {
+				return err
+			}
+			long = long[:0]
+		case errors.Is(err, bufio.ErrBufferFull):
+			long = append(long, chunk...)
+		case errors.Is(err, io.EOF):
+			if len(chunk) > 0 || len(long) > 0 {
+				return fmt.Errorf("store: %s: corrupt stream: torn record: %w", path, io.ErrUnexpectedEOF)
+			}
+			return nil
+		default:
+			return fmt.Errorf("store: %s: corrupt stream: %w", path, err)
+		}
+	}
+}

@@ -58,6 +58,16 @@ type Inspection struct {
 	TotalRecords  int
 }
 
+// countRecords counts a segment's decodable record prefix in whatever
+// format the segment sniffed as: bundle segments count raw '!'-marked
+// lines, everything else decodes observations.
+func countRecords(path string, format int, n *int) error {
+	if format == FormatBundle {
+		return ForEachRawLine(path, func([]byte) error { *n++; return nil })
+	}
+	return forEachFile(path, func(Observation) error { *n++; return nil })
+}
+
 // segmentFiles lists dir's segment files and verifies they are contiguous
 // seg-0000..seg-(n-1).
 func segmentFiles(dir string) ([]string, error) {
@@ -113,10 +123,7 @@ func Inspect(dir string) (Inspection, error) {
 		info.Format, _ = sniffFormat(path)
 		// Best-effort member count: a torn tail reports the intact prefix.
 		info.Members, _ = countGzipMembers(path)
-		scanErr := forEachFile(path, func(Observation) error {
-			info.Records++
-			return nil
-		})
+		scanErr := countRecords(path, info.Format, &info.Records)
 		if scanErr != nil {
 			info.Truncated = true
 			info.Err = scanErr.Error()
@@ -155,7 +162,7 @@ func Verify(dir string) (Inspection, error) {
 			return in, fmt.Errorf("store: %s: manifest declares %d records, segment holds %d",
 				filepath.Base(seg.Path), want, seg.Records)
 		}
-		if in.Manifest.Version == ManifestVersionDelta {
+		if formatHasMembers(in.Manifest.Version) {
 			// v3: the member table must account for every compressed byte
 			// of the segment with matching FNV-1a sums and record counts —
 			// corruption is caught on the raw bytes, decode aside.
@@ -253,11 +260,11 @@ func salvageFromCheckpoint(fsys FS, dir string, ck Checkpoint) (SalvageResult, e
 		if err != nil {
 			return res, fmt.Errorf("store: %s: %w", path, err)
 		}
-		// Delta stores carry a stronger authority than the offsets alone:
-		// the journal's member table. Re-hash the truncated file against
-		// it before trusting any decode — a bit flip inside committed data
-		// fails here on the raw bytes.
-		if ck.Format == FormatDelta {
+		// Delta and bundle stores carry a stronger authority than the
+		// offsets alone: the journal's member table. Re-hash the truncated
+		// file against it before trusting any decode — a bit flip inside
+		// committed data fails here on the raw bytes.
+		if formatHasMembers(ck.Format) {
 			if err := verifyMemberTable(path, ck.Members[i]); err != nil {
 				return res, fmt.Errorf("store: committed member corrupt: %w", err)
 			}
@@ -266,7 +273,7 @@ func salvageFromCheckpoint(fsys FS, dir string, ck Checkpoint) (SalvageResult, e
 		// committed record count; anything else means corruption inside
 		// committed data, which salvage must refuse to paper over.
 		n := 0
-		if err := forEachFile(path, func(Observation) error { n++; return nil }); err != nil {
+		if err := countRecords(path, ck.Format, &n); err != nil {
 			return res, fmt.Errorf("store: committed prefix corrupt: %w", err)
 		}
 		if n != ck.Counts[i] {
@@ -285,30 +292,51 @@ func salvageFromCheckpoint(fsys FS, dir string, ck Checkpoint) (SalvageResult, e
 var errSalvageWrite = errors.New("store: salvage rewrite failed")
 
 // salvageByScan rewrites each segment to its longest valid record prefix.
-// The rewrite always targets the current delta format, whatever version
-// the torn segment was — salvage of a v1 or v2 store upgrades it to v3,
-// complete with a member table in the rebuilt manifest.
+// For observation stores the rewrite always targets the current delta
+// format, whatever version the torn segment was — salvage of a v1 or v2
+// store upgrades it to v3, complete with a member table in the rebuilt
+// manifest. A bundle archive (any segment sniffing v4) is rewritten in its
+// own raw format instead: bundle records are opaque here and must survive
+// byte-for-byte.
 func salvageByScan(fsys FS, dir string) (SalvageResult, error) {
 	paths, err := segmentFiles(dir)
 	if err != nil {
 		return SalvageResult{}, err
 	}
+	target := FormatDelta
+	for _, path := range paths {
+		if f, _ := sniffFormat(path); f == FormatBundle {
+			target = FormatBundle
+			break
+		}
+	}
 	res := SalvageResult{Segments: len(paths), Counts: make([]int, len(paths))}
 	members := make([][]Member, len(paths))
 	for i, path := range paths {
 		tmp := path + ".salvage"
-		nw, err := createFile(fsys, tmp, FormatDelta)
+		nw, err := createFile(fsys, tmp, target)
 		if err != nil {
 			return res, fmt.Errorf("store: %w", err)
 		}
 		kept := 0
-		scanErr := forEachFile(path, func(o Observation) error {
-			if err := nw.Write(o); err != nil {
-				return fmt.Errorf("%w: %s: %v", errSalvageWrite, tmp, err)
-			}
-			kept++
-			return nil
-		})
+		var scanErr error
+		if target == FormatBundle {
+			scanErr = ForEachRawLine(path, func(line []byte) error {
+				if err := nw.WriteRaw(line); err != nil {
+					return fmt.Errorf("%w: %s: %v", errSalvageWrite, tmp, err)
+				}
+				kept++
+				return nil
+			})
+		} else {
+			scanErr = forEachFile(path, func(o Observation) error {
+				if err := nw.Write(o); err != nil {
+					return fmt.Errorf("%w: %s: %v", errSalvageWrite, tmp, err)
+				}
+				kept++
+				return nil
+			})
+		}
 		if scanErr != nil {
 			if errors.Is(scanErr, errSalvageWrite) {
 				_ = nw.abort()
@@ -337,7 +365,7 @@ func salvageByScan(fsys FS, dir string) (SalvageResult, error) {
 		res.Counts[i] = kept
 		res.Total += kept
 	}
-	if err := writeSalvagedManifest(fsys, dir, res.Segments, res.Counts, FormatDelta, members); err != nil {
+	if err := writeSalvagedManifest(fsys, dir, res.Segments, res.Counts, target, members); err != nil {
 		return res, err
 	}
 	return res, nil
@@ -351,7 +379,7 @@ func writeSalvagedManifest(fsys FS, dir string, segments int, counts []int, vers
 		Counts:    counts,
 		Salvaged:  true,
 	}
-	if version == ManifestVersionDelta {
+	if formatHasMembers(version) {
 		man.Members = members
 	}
 	for _, c := range counts {

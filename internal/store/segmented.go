@@ -35,13 +35,15 @@ const PartitionFNV1aDomain = "fnv1a-domain"
 // JSONL; version 2 segments frame every record with a length + FNV-1a
 // checksum header (see Writer) and may span multiple gzip members (one
 // per committed week); version 3 segments delta-encode per-domain streams
-// and carry whole-member checksums in the manifest's member table.
-// Readers sniff the encoding per stream, so all versions read through the
-// same entry points.
+// and carry whole-member checksums in the manifest's member table; version
+// 4 segments hold raw '!'-marked bundle record lines (wexbundle owns the
+// payload) with the same member table. Readers sniff the encoding per
+// stream, so all observation versions read through the same entry points.
 const (
 	ManifestVersionPlain  = FormatPlain
 	ManifestVersionFramed = FormatFramed
 	ManifestVersionDelta  = FormatDelta
+	ManifestVersionBundle = FormatBundle
 )
 
 // Manifest describes a segmented store directory.
@@ -149,7 +151,7 @@ func CreateSegmentedWith(dir string, n int, opt SegmentedOptions) (*SegmentedWri
 	if format == 0 {
 		format = FormatDelta
 	}
-	if format != FormatFramed && format != FormatDelta {
+	if format != FormatFramed && format != FormatDelta && format != FormatBundle {
 		return nil, fmt.Errorf("store: %s: unsupported segment format %d", dir, format)
 	}
 	fsys := realFS(opt.FS)
@@ -230,6 +232,17 @@ func (w *SegmentedWriter) Write(obs Observation) error {
 	return w.segs[s].Write(obs)
 }
 
+// WriteRaw routes one raw bundle record line to its domain's segment by
+// the same FNV-1a partition Write uses, so a bundle archive and the
+// observation store it was recorded alongside shard identically. Only
+// bundle-format (v4) writers accept it.
+func (w *SegmentedWriter) WriteRaw(domain string, line []byte) error {
+	s := ShardOf(domain, len(w.segs))
+	w.mus[s].Lock()
+	defer w.mus[s].Unlock()
+	return w.segs[s].WriteRaw(line)
+}
+
 // Count returns the number of observations written across all segments.
 func (w *SegmentedWriter) Count() int {
 	total := 0
@@ -264,7 +277,7 @@ func (w *SegmentedWriter) CommitWeek(week int) error {
 		Counts:         make([]int, len(w.segs)),
 		Run:            w.opt.Run,
 	}
-	if w.format == FormatDelta {
+	if formatHasMembers(w.format) {
 		ck.Members = make([][]Member, len(w.segs))
 	}
 	for i, seg := range w.segs {
@@ -306,7 +319,7 @@ func (w *SegmentedWriter) Close() error {
 		Partition: PartitionFNV1aDomain,
 		Counts:    make([]int, len(w.segs)),
 	}
-	if w.format == FormatDelta {
+	if formatHasMembers(w.format) {
 		man.Members = make([][]Member, len(w.segs))
 	}
 	for i, seg := range w.segs {
@@ -423,14 +436,14 @@ func ReadManifest(dir string) (Manifest, error) {
 		return Manifest{}, fmt.Errorf("store: %s: corrupt manifest: %w", dir, err)
 	}
 	if man.Version != ManifestVersionPlain && man.Version != ManifestVersionFramed &&
-		man.Version != ManifestVersionDelta {
+		man.Version != ManifestVersionDelta && man.Version != ManifestVersionBundle {
 		return Manifest{}, fmt.Errorf("store: %s: manifest version %d not supported", dir, man.Version)
 	}
 	if man.Segments < 1 || man.Segments != len(man.Counts) {
 		return Manifest{}, fmt.Errorf("store: %s: manifest inconsistent (%d segments, %d counts)",
 			dir, man.Segments, len(man.Counts))
 	}
-	if man.Version == ManifestVersionDelta && len(man.Members) != man.Segments {
+	if formatHasMembers(man.Version) && len(man.Members) != man.Segments {
 		return Manifest{}, fmt.Errorf("store: %s: manifest inconsistent (%d segments, %d member tables)",
 			dir, man.Segments, len(man.Members))
 	}

@@ -107,14 +107,27 @@ type Sink interface {
 //	FormatDelta  (v3): per-domain delta streams ('='/'~'/'^' records, see
 //	                   delta.go) with whole-member FNV-1a checksums kept in
 //	                   the checkpoint/manifest member table (members.go).
+//	FormatBundle (v4): raw '!'-marked record lines whose content is opaque
+//	                   to this package (the wexbundle package owns the
+//	                   payload encoding); durability, checkpointing, member
+//	                   checksums, and salvage behave exactly as v3.
 //
 // Readers sniff the format from the first decompressed byte of each
-// stream, so all three versions read through the same entry points.
+// stream, so all observation versions read through the same entry points;
+// a v4 stream is not an observation store and decodeStream refuses it
+// loudly instead of misparsing it.
 const (
 	FormatPlain  = 1
 	FormatFramed = 2
 	FormatDelta  = 3
+	FormatBundle = 4
 )
+
+// formatHasMembers reports whether a format keeps the member-level
+// checksum table (delta v3 and bundle v4).
+func formatHasMembers(format int) bool {
+	return format == FormatDelta || format == FormatBundle
+}
 
 // Writer streams observations to a gzip JSONL file. It is not safe for
 // concurrent use; callers sharing one Writer must serialize Write.
@@ -218,6 +231,10 @@ func createFile(fsys FS, path string, format int) (*Writer, error) {
 		gz.Reset(w.mh)
 		w.prev = make(map[string]Observation)
 		w.enc = json.NewEncoder(buf)
+	case FormatBundle:
+		w.mh = &memberHasher{}
+		w.mh.Reset(f)
+		gz.Reset(w.mh)
 	case FormatFramed:
 		gz.Reset(f)
 		w.enc = json.NewEncoder(&w.scratch)
@@ -259,14 +276,17 @@ func resumeFile(fsys FS, path string, offset int64, count int, format int, membe
 	buf := bufwPool.Get().(*bufio.Writer)
 	buf.Reset(gz)
 	w := &Writer{f: f, gz: gz, buf: buf, format: format, open: false, n: count}
-	if format == FormatDelta {
+	switch {
+	case formatHasMembers(format):
 		w.mh = &memberHasher{}
 		w.mh.Reset(f)
 		w.members = append([]Member(nil), members...)
 		w.lastN = count
-		w.prev = make(map[string]Observation)
-		w.enc = json.NewEncoder(buf)
-	} else {
+		if format == FormatDelta {
+			w.prev = make(map[string]Observation)
+			w.enc = json.NewEncoder(buf)
+		}
+	default:
 		w.enc = json.NewEncoder(&w.scratch)
 	}
 	return w, nil
@@ -275,16 +295,10 @@ func resumeFile(fsys FS, path string, offset int64, count int, format int, membe
 // Write appends one observation. Failed writes are not counted: Count
 // reflects only observations the encoder accepted.
 func (w *Writer) Write(obs Observation) error {
-	if !w.open && w.gz != nil {
-		// First write after a commit (or a resume): start a new gzip
-		// member at the committed boundary.
-		if w.format == FormatDelta {
-			w.gz.Reset(w.mh)
-		} else {
-			w.gz.Reset(w.f)
-		}
-		w.open = true
+	if w.format == FormatBundle {
+		return fmt.Errorf("store: Write on a bundle-format writer; bundles take WriteRaw")
 	}
+	w.reopenMember()
 	switch w.format {
 	case FormatFramed:
 		return w.writeFramed(obs)
@@ -292,6 +306,40 @@ func (w *Writer) Write(obs Observation) error {
 		return w.writeDelta(obs)
 	}
 	if err := w.enc.Encode(obs); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// reopenMember starts a new gzip member at the committed boundary on the
+// first write after a commit (or a resume).
+func (w *Writer) reopenMember() {
+	if w.open || w.gz == nil {
+		return
+	}
+	if formatHasMembers(w.format) {
+		w.gz.Reset(w.mh)
+	} else {
+		w.gz.Reset(w.f)
+	}
+	w.open = true
+}
+
+// WriteRaw appends one raw record line (without its trailing newline) to a
+// bundle-format (v4) writer. The line must begin with the '!' bundle mark —
+// the byte the read-side format sniff dispatches on — and must contain no
+// newline; the wexbundle package, which owns the payload encoding,
+// guarantees both by construction (JSON never embeds a raw newline).
+func (w *Writer) WriteRaw(line []byte) error {
+	if w.format != FormatBundle {
+		return fmt.Errorf("store: WriteRaw on a format-%d writer; only bundles take raw records", w.format)
+	}
+	w.reopenMember()
+	if _, err := w.buf.Write(line); err != nil {
+		return err
+	}
+	if err := w.buf.WriteByte('\n'); err != nil {
 		return err
 	}
 	w.n++
@@ -406,7 +454,7 @@ func (w *Writer) finishMember() error {
 		return err
 	}
 	w.open = false
-	if w.format == FormatDelta {
+	if formatHasMembers(w.format) {
 		w.members = append(w.members, Member{Len: w.mh.n, Sum: w.mh.sum, Records: w.n - w.lastN})
 		w.lastN = w.n
 		w.mh.Reset(w.f)
@@ -687,6 +735,8 @@ func decodeStream(r io.Reader, path string, fn func(Observation) error) error {
 		return decodeFramed(br, path, fn)
 	} else if first[0] == fullMark || first[0] == sameMark || first[0] == deltaMark {
 		return decodeDelta(br, path, fn)
+	} else if first[0] == BundleMark {
+		return fmt.Errorf("store: %s: web-execution bundle (v4) segment — not an observation store; replay it with wexbundle", path)
 	}
 	dec := json.NewDecoder(br)
 	var obs Observation

@@ -1,0 +1,206 @@
+package wexbundle
+
+// Write-path fault injection for the bundle recorder: the store's errfs
+// discipline applied to v4 archives. A byte-budget failing filesystem
+// crashes the recording at deterministic points across the run — clean
+// ENOSPC and torn short writes — and every crash point must leave the
+// bundle either fully committed or salvageable to exactly its committed
+// weeks: after store.Salvage, the archive mounts, verifies, and replays
+// every record of every committed week.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"clientres/internal/store"
+)
+
+var errBudget = errors.New("injected: no space left on device")
+
+// budgetFS wraps the real filesystem and fails the write that would exceed
+// its byte budget — optionally persisting a torn prefix first.
+type budgetFS struct {
+	mu         sync.Mutex
+	budget     int // -1 = unlimited
+	shortWrite bool
+	wrote      int
+	faulted    bool
+}
+
+func (f *budgetFS) OpenFile(name string, flag int, perm os.FileMode) (store.File, error) {
+	file, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &budgetFile{fs: f, File: file}, nil
+}
+
+func (f *budgetFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (f *budgetFS) Remove(name string) error             { return os.Remove(name) }
+
+func (f *budgetFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+type budgetFile struct {
+	fs *budgetFS
+	*os.File
+}
+
+func (bf *budgetFile) Write(p []byte) (int, error) {
+	bf.fs.mu.Lock()
+	defer bf.fs.mu.Unlock()
+	bf.fs.wrote += len(p)
+	if bf.fs.budget < 0 {
+		return bf.File.Write(p)
+	}
+	if len(p) <= bf.fs.budget {
+		bf.fs.budget -= len(p)
+		return bf.File.Write(p)
+	}
+	n := 0
+	if bf.fs.shortWrite && bf.fs.budget > 0 {
+		n, _ = bf.File.Write(p[:bf.fs.budget])
+	}
+	bf.fs.budget = 0
+	bf.fs.faulted = true
+	return n, errBudget
+}
+
+// faultRecords is the recording the sweep drives: 4 domains x 5 weeks,
+// page + one script each, bodies long enough that every week writes real
+// bytes.
+func faultRecords() [][]Record {
+	domains := []string{"a.example", "b.example", "c.example", "d.example"}
+	weeks := make([][]Record, 5)
+	for wk := range weeks {
+		for _, dom := range domains {
+			base := "/w/" + itoa(wk) + "/" + dom + "/"
+			weeks[wk] = append(weeks[wk],
+				Record{Week: wk, Domain: dom, Key: base, Status: 200,
+					Body: "<html><script src=js/app.js></script>page of " + dom + " in week " + itoa(wk) + "</html>"},
+				Record{Week: wk, Domain: dom, Key: base + "js/app.js", Status: 200,
+					Body: "/* app bundle for " + dom + " week " + itoa(wk) + " */ function f(){return 42}"})
+		}
+	}
+	return weeks
+}
+
+// recordUntilFault appends week by week until a fault aborts the writer,
+// returning how many weeks committed.
+func recordUntilFault(t *testing.T, dir string, fsys store.FS, weeks [][]Record, segments int, run store.RunID) (committed int) {
+	t.Helper()
+	w, err := Create(dir, Options{Segments: segments, Checkpoint: true, Run: run, FS: fsys,
+		Meta: Meta{Domains: int(run.Domains), Weeks: int(run.Weeks), Seed: run.Seed}})
+	if err != nil {
+		return 0
+	}
+	for wk, recs := range weeks {
+		for _, rec := range recs {
+			if err := w.Append(rec); err != nil {
+				_ = w.Abort()
+				return committed
+			}
+		}
+		if err := w.CommitWeek(wk); err != nil {
+			_ = w.Abort()
+			return committed
+		}
+		committed = wk + 1
+	}
+	if err := w.Close(); err != nil {
+		_ = w.Abort()
+		return committed
+	}
+	return committed
+}
+
+func TestFaultSweepCommitsOrSalvages(t *testing.T) {
+	const segments = 3
+	run := store.RunID{Seed: 31, Domains: 4, Weeks: 5}
+	weeks := faultRecords()
+
+	probe := &budgetFS{budget: -1}
+	if got := recordUntilFault(t, filepath.Join(t.TempDir(), "probe"), probe, weeks, segments, run); got != 5 {
+		t.Fatalf("fault-free recording committed %d weeks, want 5", got)
+	}
+	total := probe.wrote
+	if total == 0 {
+		t.Fatal("probe measured zero bytes")
+	}
+
+	for _, shortWrite := range []bool{false, true} {
+		name := "enospc"
+		if shortWrite {
+			name = "short-write"
+		}
+		for _, frac := range []int{5, 20, 40, 60, 80, 95} {
+			budget := total * frac / 100
+			t.Run(name+"/"+itoa(frac)+"pct", func(t *testing.T) {
+				fsys := &budgetFS{budget: budget, shortWrite: shortWrite}
+				dir := filepath.Join(t.TempDir(), "bundle")
+				committed := recordUntilFault(t, dir, fsys, weeks, segments, run)
+				if !fsys.faulted && committed < 5 {
+					t.Fatalf("budget %d of %d bytes neither faulted nor completed", budget, total)
+				}
+				res, err := store.Salvage(dir)
+				if err != nil {
+					t.Fatalf("salvage after fault at %d%%: %v", frac, err)
+				}
+				if res.Total < 0 {
+					t.Fatalf("salvage result: %+v", res)
+				}
+				checkCommittedWeeksReplayable(t, dir, weeks, committed)
+			})
+		}
+	}
+}
+
+// checkCommittedWeeksReplayable proves the durability contract on a
+// salvaged bundle: it verifies, mounts, and serves every record of every
+// committed week byte-exactly.
+func checkCommittedWeeksReplayable(t *testing.T, dir string, weeks [][]Record, committed int) {
+	t.Helper()
+	if _, err := store.Verify(dir); err != nil {
+		t.Fatalf("salvaged bundle fails verify: %v", err)
+	}
+	b, err := Mount(dir)
+	if err != nil {
+		t.Fatalf("salvaged bundle fails mount: %v", err)
+	}
+	for wk := 0; wk < committed; wk++ {
+		for _, want := range weeks[wk] {
+			got, ok := b.Get(want.Key)
+			if !ok {
+				t.Fatalf("committed week %d: record %q lost", wk, want.Key)
+			}
+			if got.Body != want.Body || got.Status != want.Status {
+				t.Fatalf("committed week %d: record %q altered:\n got %+v\nwant %+v", wk, want.Key, got, want)
+			}
+		}
+	}
+	// Nothing invented: every surviving record must be one that was written.
+	written := make(map[string]Record)
+	for _, recs := range weeks {
+		for _, rec := range recs {
+			written[rec.Key] = rec
+		}
+	}
+	for _, got := range b.Records() {
+		want, ok := written[got.Key]
+		if !ok || got.Body != want.Body {
+			t.Fatalf("salvage invented record %q", got.Key)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package wexbundle
+
+// The audit service's {"url": ...} fetch path, bundle-backed: cmd/serve
+// -bundle wires service.Config.Fetch to a crawler whose transport is a
+// mounted bundle's replay RoundTripper. This test proves the wiring
+// end-to-end — record a URL audit live, shut the upstream down, and the
+// service audits the same URL from the archive with identical findings
+// and zero network.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"clientres/internal/crawler"
+	"clientres/internal/service"
+)
+
+const vulnerableAuditPage = `<!DOCTYPE html><html><head>
+<script src="https://cdn.example/jquery/1.8.0/jquery.min.js"></script>
+</head><body>hello</body></html>`
+
+func auditURL(t *testing.T, s *service.Server, url string) (*httptest.ResponseRecorder, service.AuditResponse) {
+	t.Helper()
+	body := `{"url": "` + url + `"}`
+	req := httptest.NewRequest("POST", "/v1/audit", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var resp service.AuditResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("audit response: %v", err)
+		}
+	}
+	return rec, resp
+}
+
+func fetchVia(cr *crawler.Crawler) func(context.Context, string) (int, string, error) {
+	return func(ctx context.Context, url string) (int, string, error) {
+		p := cr.FetchURL(ctx, url)
+		return p.Status, p.Body, p.Err
+	}
+}
+
+func TestServiceURLAuditFromBundle(t *testing.T) {
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, vulnerableAuditPage)
+	}))
+	defer upstream.Close()
+
+	// Record: the live audit fetch, archived through the recording
+	// transport on the crawler's transport seam.
+	dir := filepath.Join(t.TempDir(), "bundle")
+	bw, err := Create(dir, Options{Segments: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveCrawler := crawler.New(crawler.Config{
+		Timeout: 5 * time.Second,
+		WrapTransport: func(inner http.RoundTripper) http.RoundTripper {
+			return &RecordingTransport{Inner: inner, W: bw}
+		},
+	})
+	liveSrv := service.New(service.Config{Fetch: fetchVia(liveCrawler)})
+	rec, liveResp := auditURL(t, liveSrv, upstream.URL+"/page")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("live audit: status %d, body %s", rec.Code, rec.Body)
+	}
+	if len(liveResp.Findings) == 0 {
+		t.Fatal("live audit of the vulnerable page found nothing")
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay: upstream is gone; the bundle-backed service must reproduce
+	// the audit exactly.
+	upstream.Close()
+	b, err := Mount(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayCrawler := crawler.New(crawler.Config{
+		Timeout:       5 * time.Second,
+		WrapTransport: func(http.RoundTripper) http.RoundTripper { return b.Transport() },
+	})
+	replaySrv := service.New(service.Config{Fetch: fetchVia(replayCrawler)})
+	rec, replayResp := auditURL(t, replaySrv, upstream.URL+"/page")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("replayed audit: status %d, body %s", rec.Code, rec.Body)
+	}
+	if len(replayResp.Findings) != len(liveResp.Findings) {
+		t.Fatalf("replayed audit found %d vulnerabilities, live found %d",
+			len(replayResp.Findings), len(liveResp.Findings))
+	}
+
+	// A URL the bundle never recorded is a fetch error (502), not a live
+	// fetch.
+	rec, _ = auditURL(t, replaySrv, upstream.URL+"/never-recorded")
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("unrecorded URL audit: status %d, want 502", rec.Code)
+	}
+}

@@ -1,0 +1,117 @@
+// The crawler-transport seam: recording and replaying http.RoundTrippers.
+
+package wexbundle
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// RecordingTransport wraps a real transport and archives every exchange —
+// response or failure — before handing it to the crawler. Append errors
+// fail the round trip: a recording that cannot keep its promise must stop
+// the crawl, not silently produce a bundle with holes.
+type RecordingTransport struct {
+	Inner http.RoundTripper
+	W     *Writer
+}
+
+// RoundTrip performs the inner request, archives the outcome, and returns
+// a response whose body replays the captured bytes (including any mid-body
+// error, at its recorded position), so the crawler sees exactly what was
+// archived.
+func (t *RecordingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	key := Key(req.URL)
+	week, domain := splitKey(key, req.URL.Host)
+	rec := Record{Week: week, Domain: domain, Key: key}
+	start := time.Now()
+	resp, err := t.Inner.RoundTrip(req)
+	if err != nil {
+		rec.Err = err.Error()
+		rec.DurUS = time.Since(start).Microseconds()
+		if aerr := t.W.Append(rec); aerr != nil {
+			return nil, fmt.Errorf("wexbundle: record: %w", aerr)
+		}
+		return nil, err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	rec.Status = resp.StatusCode
+	rec.Header = resp.Header
+	rec.Body = string(body)
+	rec.DurUS = time.Since(start).Microseconds()
+	if rerr != nil {
+		rec.Err = rerr.Error()
+	}
+	if aerr := t.W.Append(rec); aerr != nil {
+		return nil, fmt.Errorf("wexbundle: record: %w", aerr)
+	}
+	resp.Body = &replayBody{data: body, err: rerr}
+	return resp, nil
+}
+
+// Transport returns the bundle's replay http.RoundTripper. It has no inner
+// transport: a request the bundle did not record is an error, never a live
+// fetch — the zero-network guarantee.
+func (b *Bundle) Transport() http.RoundTripper { return &replayTransport{b: b} }
+
+type replayTransport struct {
+	b *Bundle
+}
+
+func (t *replayTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	key := Key(req.URL)
+	rec, ok := t.b.Get(key)
+	if !ok {
+		return nil, fmt.Errorf("wexbundle: %s: no record for %q (replay never touches the network)", t.b.dir, key)
+	}
+	if rec.Status == 0 {
+		// A connection-level failure: replay it as one. http.Client wraps
+		// transport errors in *url.Error, same as a live dial failure.
+		return nil, errors.New(rec.Err)
+	}
+	var berr error
+	if rec.Err != "" {
+		berr = errors.New(rec.Err) // mid-body failure after the recorded prefix
+	}
+	hdr := make(http.Header, len(rec.Header))
+	for k, v := range rec.Header {
+		hdr[k] = append([]string(nil), v...)
+	}
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", rec.Status, http.StatusText(rec.Status)),
+		StatusCode:    rec.Status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        hdr,
+		Body:          &replayBody{data: []byte(rec.Body), err: berr},
+		ContentLength: int64(len(rec.Body)),
+		Request:       req,
+	}, nil
+}
+
+// replayBody yields data, then err (or EOF) — reproducing a recorded body
+// byte-for-byte including where a live read failed mid-stream.
+type replayBody struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (b *replayBody) Read(p []byte) (int, error) {
+	if b.off < len(b.data) {
+		n := copy(p, b.data[b.off:])
+		b.off += n
+		return n, nil
+	}
+	if b.err != nil {
+		return 0, b.err
+	}
+	return 0, io.EOF
+}
+
+func (b *replayBody) Close() error { return nil }

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Record/replay perf ablation: runs BenchmarkBundleRecord (plain vs
+# recording) and BenchmarkBundleReplay (zero-network crawl from a mounted
+# bundle) and appends one JSON line per result to BENCH_bundle.json, so
+# bundle PRs accumulate a machine-readable before/after record. Override
+# the measurement budget with BENCHTIME (default 1x, the smoke setting).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${OUT:-BENCH_bundle.json}"
+
+raw=$(go test -run '^$' -bench 'BenchmarkBundle(Record|Replay)' \
+	-benchmem -benchtime "$BENCHTIME" .)
+printf '%s\n' "$raw"
+
+ts=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+printf '%s\n' "$raw" | awk -v ts="$ts" -v benchtime="$BENCHTIME" '
+/^Benchmark/ {
+	name = $1; iters = $2
+	ns = bytes = allocs = pages = ""
+	for (i = 3; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		else if ($i == "B/op") bytes = $(i - 1)
+		else if ($i == "allocs/op") allocs = $(i - 1)
+		else if ($i == "pages/s") pages = $(i - 1)
+	}
+	line = sprintf("{\"ts\":\"%s\",\"benchtime\":\"%s\",\"bench\":\"%s\",\"iters\":%s,\"ns_per_op\":%s",
+		ts, benchtime, name, iters, ns)
+	if (bytes != "")  line = line sprintf(",\"bytes_per_op\":%s", bytes)
+	if (allocs != "") line = line sprintf(",\"allocs_per_op\":%s", allocs)
+	if (pages != "")  line = line sprintf(",\"pages_per_s\":%s", pages)
+	print line "}"
+}' >> "$OUT"
+
+echo "appended results to $OUT"

@@ -114,6 +114,87 @@ fi
 cmp "$tmp/ref.report" "$tmp/crash.report" || {
 	echo "resumed run's report differs from the uninterrupted reference"; exit 1; }
 
+# Bundle record/replay smoke: record a checkpointed crawl into a
+# web-execution bundle, SIGKILL it mid-run, fsck both wrecks, resume, and
+# prove (a) the resumed store's report equals the uninterrupted reference,
+# (b) `analyze -bundle` re-audits the resumed bundle to the byte-identical
+# report, (c) a zero-network `crawl -replay` of the bundle reproduces the
+# same report, and (d) fsck detects a flipped byte in a sealed bundle
+# segment.
+echo "==> bundle smoke (record, SIGKILL, fsck, resume, replay, diff reports)"
+BUNDLE_ARGS="-domains 60 -weeks 40 -seed 11 -workers 16 -segments 2 -checkpoint"
+
+# Uninterrupted reference: store and bundle recorded side by side.
+"$tmp/crawl" $BUNDLE_ARGS -record "$tmp/ref.bundle" -out "$tmp/bref.store" 2>/dev/null >/dev/null
+"$tmp/fsck" -store "$tmp/ref.bundle" | grep -q 'format v4'
+"$tmp/analyze" -in "$tmp/bref.store" -weeks 40 -domains 60 >"$tmp/bref.report"
+
+# The victim recording, killed once at least two weeks have committed.
+"$tmp/crawl" $BUNDLE_ARGS -record "$tmp/bcrash.bundle" -out "$tmp/bcrash.store" 2>"$tmp/bcrash.log" >/dev/null &
+crawl_pid=$!
+killed=""
+for _ in $(seq 1 600); do
+	if ! kill -0 "$crawl_pid" 2>/dev/null; then
+		break # finished before we could kill it
+	fi
+	n=$(grep -c 'committed' "$tmp/bcrash.log" 2>/dev/null) || n=0
+	if [ "${n:-0}" -ge 2 ]; then
+		kill -KILL "$crawl_pid"
+		killed=yes
+		break
+	fi
+	sleep 0.02
+done
+wait "$crawl_pid" 2>/dev/null || true
+[ -n "$killed" ] || { echo "recording finished before SIGKILL could land; smoke inconclusive"; exit 1; }
+
+# Neither archive was sealed: fsck must refuse both, and repair must
+# restore each to its last checkpoint (the bundle commits each week first,
+# so it is never behind the store).
+if "$tmp/fsck" -store "$tmp/bcrash.bundle" >/dev/null 2>&1; then
+	echo "fsck verified a crashed bundle as intact"; exit 1
+fi
+"$tmp/fsck" -store "$tmp/bcrash.bundle" -repair
+"$tmp/fsck" -store "$tmp/bcrash.bundle" -stats | grep -q 'format v4'
+if "$tmp/fsck" -store "$tmp/bcrash.store" >/dev/null 2>&1; then
+	echo "fsck verified a crashed store as intact"; exit 1
+fi
+"$tmp/fsck" -store "$tmp/bcrash.store" -repair
+
+# Resume re-records only the uncommitted suffix; the recovered run must
+# equal the uninterrupted one.
+"$tmp/crawl" $BUNDLE_ARGS -resume -record "$tmp/bcrash.bundle" -out "$tmp/bcrash.store" 2>/dev/null >/dev/null
+"$tmp/fsck" -store "$tmp/bcrash.bundle"
+"$tmp/fsck" -store "$tmp/bcrash.store"
+"$tmp/analyze" -in "$tmp/bcrash.store" -weeks 40 -domains 60 >"$tmp/bcrash.report"
+cmp "$tmp/bref.report" "$tmp/bcrash.report" || {
+	echo "resumed recording's report differs from the uninterrupted reference"; exit 1; }
+
+# Replay-audit the resumed bundle (run parameters default from
+# bundle.json): byte-identical report, zero network.
+"$tmp/analyze" -bundle "$tmp/bcrash.bundle" >"$tmp/bundle.report"
+cmp "$tmp/bref.report" "$tmp/bundle.report" || {
+	echo "analyze -bundle report differs from the live run that recorded it"; exit 1; }
+
+# A zero-network crawl replayed from the bundle writes a store whose
+# report is also byte-identical.
+"$tmp/crawl" $BUNDLE_ARGS -replay "$tmp/bcrash.bundle" -out "$tmp/breplay.store" 2>/dev/null >/dev/null
+"$tmp/analyze" -in "$tmp/breplay.store" -weeks 40 -domains 60 >"$tmp/breplay.report"
+cmp "$tmp/bref.report" "$tmp/breplay.report" || {
+	echo "replayed crawl's report differs from the live run that recorded it"; exit 1; }
+
+# Corruption: flip one byte in the middle of a sealed bundle segment;
+# verification must fail loudly.
+seg="$tmp/ref.bundle/seg-0000.jsonl.gz"
+size=$(wc -c <"$seg")
+off=$((size / 2))
+byte=$(od -An -tu1 -j "$off" -N 1 "$seg" | tr -dc '0-9')
+printf "$(printf '\\%03o' $((byte ^ 64)))" |
+	dd of="$seg" bs=1 seek="$off" conv=notrunc 2>/dev/null
+if "$tmp/fsck" -store "$tmp/ref.bundle" >/dev/null 2>&1; then
+	echo "fsck verified a bit-flipped bundle as intact"; exit 1
+fi
+
 # Cross-version smoke: the same synthetic population written as a v1
 # single-file archive and as a v3 delta segmented store must verify under
 # fsck (which must report the delta format) and replay to byte-identical
