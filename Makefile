@@ -20,9 +20,10 @@ bench:
 bench-store:
 	BENCHTIME=$(BENCHTIME) sh scripts/bench_store.sh
 
-# bench-crawl runs the crawl-path throughput ablation (plain vs polite
-# resilience layer) and appends fetch-latency/throughput numbers to
-# BENCH_crawl.json (longer measurement: make bench-crawl BENCHTIME=2s).
+# bench-crawl runs the crawl-path throughput ablations (plain vs polite
+# resilience layer, plus the distributed plane at 1/2/4 workers) and
+# appends fetch-latency/throughput numbers to BENCH_crawl.json (longer
+# measurement: make bench-crawl BENCHTIME=2s).
 bench-crawl:
 	BENCHTIME=$(BENCHTIME) sh scripts/bench_crawl.sh
 

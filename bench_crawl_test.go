@@ -11,11 +11,13 @@ package clientres
 
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"testing"
 	"time"
 
 	"clientres/internal/crawler"
+	"clientres/internal/distcrawl"
 	"clientres/internal/webgen"
 	"clientres/internal/webserver"
 )
@@ -56,6 +58,69 @@ func BenchmarkCrawlWeek(b *testing.B) {
 			m := cr.Metrics()
 			b.ReportMetric(float64(m.FetchP50.Nanoseconds()), "p50-ns")
 			b.ReportMetric(float64(m.FetchP99.Nanoseconds()), "p99-ns")
+		})
+	}
+}
+
+// BenchmarkDistCrawl prices the distributed plane end to end: one
+// coordinator and 1/2/4 workers crawl the same small study to completion
+// (lease round trips, per-week store commits, heartbeats — everything but
+// the merge), reporting whole-run pages/s. The workers-1 variant is the
+// coordination overhead floor against BenchmarkCrawlWeek; 2 and 4 show
+// how much of the serial crawl the partition fan-out wins back.
+func BenchmarkDistCrawl(b *testing.B) {
+	const domains, weeks, partitions = 120, 4, 4
+	for _, nw := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", nw), func(b *testing.B) {
+			var agg crawler.MetricsSnapshot
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				spec := distcrawl.RunSpec{
+					Domains: domains, Weeks: weeks, Seed: 9,
+					Partitions: partitions,
+					Dir:        b.TempDir(),
+					LeaseTTL:   30 * time.Second,
+				}
+				coord, err := distcrawl.NewCoordinator(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				srv := httptest.NewServer(coord.Handler())
+				ctx, cancel := context.WithCancel(context.Background())
+				b.StartTimer()
+
+				errc := make(chan error, nw)
+				for w := 0; w < nw; w++ {
+					go func(w int) {
+						errc <- (&distcrawl.Worker{
+							ID:           fmt.Sprintf("bench-%d", w),
+							Coord:        &distcrawl.Client{BaseURL: srv.URL},
+							CrawlWorkers: 32 / nw,
+						}).Run(ctx)
+					}(w)
+				}
+				for w := 0; w < nw; w++ {
+					if err := <-errc; err != nil && err != context.Canceled {
+						b.Fatal(err)
+					}
+				}
+				if !coord.Done() {
+					b.Fatal("workers exited before the run completed")
+				}
+
+				b.StopTimer()
+				agg.Merge(coord.Status().Metrics)
+				cancel()
+				srv.Close()
+				b.StartTimer()
+			}
+			b.StopTimer()
+			pages := float64(b.N) * domains * weeks
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(pages/sec, "pages/s")
+			}
+			b.ReportMetric(float64(agg.FetchP50.Nanoseconds()), "p50-ns")
+			b.ReportMetric(float64(agg.FetchP99.Nanoseconds()), "p99-ns")
 		})
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"clientres/internal/analysis"
 	"clientres/internal/core"
 	"clientres/internal/crawler"
+	"clientres/internal/distcrawl"
 	"clientres/internal/fingerprint"
 	"clientres/internal/poclab"
 	"clientres/internal/policy"
@@ -322,6 +323,40 @@ func Serve(ctx context.Context, cfg ServeConfig) error {
 		RatePerSec:   cfg.RatePerSec, Burst: cfg.Burst,
 	})
 	return srv.ListenAndServe(ctx, cfg.Addr, nil)
+}
+
+// DistSpec parameterizes a distributed crawl run — the coordinator/worker
+// plane that shards the study's domains across processes by the same
+// FNV-1a hash as Shards, recovers dead workers via lease expiry and
+// reassignment, and merges the workers' generation stores into Results
+// byte-identical to a serial Run of the same configuration. See
+// internal/distcrawl and DESIGN.md §16.
+type DistSpec = distcrawl.RunSpec
+
+// DistCoordinator is the distributed plane's control point: it owns the
+// frontier, leases partitions, fences zombies by epoch, and persists
+// assignment state atomically so a restart rehydrates the run.
+type DistCoordinator = distcrawl.Coordinator
+
+// DistWorker crawls leased partitions against a coordinator, writing one
+// checkpointed generation store per lease epoch.
+type DistWorker = distcrawl.Worker
+
+// NewDistCoordinator creates (or rehydrates, when spec.Dir holds a prior
+// run's state) a distributed-crawl coordinator.
+func NewDistCoordinator(spec DistSpec) (*DistCoordinator, error) {
+	return distcrawl.NewCoordinator(spec)
+}
+
+// MergeDistRun merges a distributed run's accepted spans into Results —
+// sealing any generation its worker never closed — exactly as the
+// coordinator's own post-run merge does.
+func MergeDistRun(spec DistSpec, spans []distcrawl.Span) (*Results, error) {
+	inner, err := distcrawl.Merge(spec, spans, distcrawl.MergeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Results{inner: inner}, nil
 }
 
 // CVEFinding is one row of the version-validation experiment.

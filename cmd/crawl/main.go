@@ -35,6 +35,7 @@ func main() {
 	weeks := flag.Int("weeks", webgen.StudyWeeks, "number of weekly snapshots")
 	seed := flag.Int64("seed", 1, "generation seed")
 	workers := flag.Int("workers", 64, "concurrent crawler workers")
+	fetchTimeout := flag.Duration("fetch-timeout", 0, "per-page fetch deadline covering all retries and script fetches (0 disables; an expired fetch records the usual status-0 observation)")
 	shards := flag.Int("shards", 1, "parallel fingerprint/analysis shards (results identical to -shards 1)")
 	segments := flag.Int("segments", 1, "store segments; >1 writes a segmented store directory (reads identical to a single file)")
 	fpcache := flag.Int("fpcache", 0, "per-shard fingerprint memo entries (0 = default, negative = disable)")
@@ -70,6 +71,7 @@ func main() {
 		Bundling:   webgen.DefaultBundling(*bundleFrac),
 		BundleScan: *bundleScan,
 		Mode:       core.ModeCrawl, Workers: *workers, Shards: *shards,
+		FetchTimeout: *fetchTimeout,
 		StorePath: *out, StoreSegments: *segments,
 		FingerprintCacheSize: *fpcache,
 		Resilience: crawler.Resilience{

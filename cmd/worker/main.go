@@ -1,0 +1,69 @@
+// Command worker runs one crawl worker of the distributed plane: it
+// registers with the coordinator, receives the study configuration,
+// regenerates the identical synthetic web from the seed, and then crawls
+// leased domain partitions week by week — committing each completed week
+// to its own generation store first, then to the coordinator — while a
+// heartbeat goroutine keeps the lease alive. If the lease is lost (the
+// worker stalled, was partitioned, or the coordinator restarted it away)
+// the assignment is abandoned where it stands and the worker leases anew.
+//
+// Usage:
+//
+//	worker -coordinator http://127.0.0.1:7700 -id w1
+//	worker -coordinator http://127.0.0.1:7700 -id w2 -workers 32 -fetch-timeout 30s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"clientres/internal/distcrawl"
+)
+
+func main() {
+	coordURL := flag.String("coordinator", "http://127.0.0.1:7700", "coordinator base URL")
+	id := flag.String("id", "", "worker name in the protocol (default: worker-<pid>)")
+	workers := flag.Int("workers", 64, "concurrent crawler workers per assignment")
+	fetchTimeout := flag.Duration("fetch-timeout", 0, "per-page fetch deadline covering all retries and script fetches (0 disables; an expired fetch records the usual status-0 observation)")
+	wait := flag.Duration("wait", 10*time.Second, "how long to keep retrying the first registration before giving up")
+	flag.Parse()
+
+	if *id == "" {
+		*id = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	w := &distcrawl.Worker{
+		ID:           *id,
+		Coord:        &distcrawl.Client{BaseURL: *coordURL},
+		CrawlWorkers: *workers,
+		FetchTimeout: *fetchTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+
+	// The coordinator may start a beat after us; retry registration for a
+	// bounded window, then treat the run as begun: once registered, any
+	// later coordinator disappearance is the run ending (it merges and
+	// exits before its workers poll their way out), not a worker failure.
+	start := time.Now()
+	for {
+		err := w.Run(ctx)
+		if err == nil || ctx.Err() != nil {
+			return
+		}
+		if time.Since(start) < *wait {
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		log.Printf("worker %s: coordinator gone: %v", *id, err)
+		return
+	}
+}

@@ -61,6 +61,12 @@ type Config struct {
 	Mode Mode
 	// Workers bounds crawl concurrency (ModeCrawl).
 	Workers int
+	// FetchTimeout bounds one whole page fetch — every attempt, backoff
+	// sleep, and same-site script fetch of one (domain, week) — with a
+	// context deadline (ModeCrawl; 0 disables). An expired fetch records
+	// the usual Status-0 observation, so a hung host costs one deadline,
+	// never a stalled crawl slot.
+	FetchTimeout time.Duration
 	// Resilience parameterizes the crawl path's per-host politeness
 	// limiter, circuit breaker, and weekly retry budget (ModeCrawl; the
 	// zero value disables the layer). On a fault-free ecosystem the layer
@@ -614,6 +620,7 @@ func collectByCrawl(ctx context.Context, cfg Config, eco *webgen.Ecosystem, res 
 	cr := crawler.New(crawler.Config{
 		BaseURL:       baseURL,
 		Workers:       workers,
+		FetchTimeout:  cfg.FetchTimeout,
 		Backoff:       crawler.Backoff{Seed: cfg.Seed},
 		Resilience:    cfg.Resilience,
 		FetchScripts:  cfg.BundleScan,

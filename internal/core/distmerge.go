@@ -1,0 +1,179 @@
+// Merged replay from N worker segment sets: the analysis side of the
+// distributed crawl plane (internal/distcrawl).
+//
+// A distributed run leaves, per domain partition, an ordered sequence of
+// generation stores — one per lease epoch that had week-commits accepted
+// by the coordinator. Each generation is an ordinary checkpointed
+// segmented store holding a contiguous week range of one partition's
+// domains. MergeWorkerStores replays those spans into per-partition
+// collector sets and merges them exactly like a sharded run merges its
+// shards (the partition function is the same store.ShardOf hash), so the
+// merged report is byte-identical to a serial core.Run of the same
+// configuration — the distributed plane's headline proof.
+//
+// The week filter is the merge half of the fencing story: a zombie worker
+// may have store-committed weeks in its own generation after its lease
+// expired, but the coordinator never accepted them, so they fall outside
+// the generation's span and are excluded here. What the coordinator
+// committed is the dataset; nothing else can leak in.
+
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"clientres/internal/alexa"
+	"clientres/internal/analysis"
+	"clientres/internal/crawler"
+	"clientres/internal/fingerprint"
+	"clientres/internal/poclab"
+	"clientres/internal/store"
+)
+
+// ObservationFromPage reduces one crawled page to a store Observation,
+// fingerprinting usable bodies — the exact reduction core's own crawl
+// paths apply, exported so distributed workers observe byte-identically
+// to an in-process crawl. memo may be nil (no caching); when non-nil it
+// must be private to the calling goroutine.
+func ObservationFromPage(byName map[string]alexa.Domain, memo *fingerprint.Memo, p crawler.Page) store.Observation {
+	return crawlObservation(byName, memo, p)
+}
+
+// ReplaySpan identifies one worker generation store and the committed
+// week range [FromWeek, ToWeek) it contributes to the merged dataset.
+// Observations outside the range — a fenced zombie's uncommitted surplus,
+// or a week the coordinator reassigned before accepting — are skipped.
+type ReplaySpan struct {
+	// Path is the generation's segmented store directory (sealed: it must
+	// carry a manifest; distcrawl seals crashed generations before merge).
+	Path string
+	// Partition is the domain-hash partition the store must hold —
+	// store.ShardOf(domain, Partitions) for every observation in it.
+	Partition int
+	// FromWeek and ToWeek bound the committed weeks, half-open.
+	FromWeek, ToWeek int
+}
+
+// MergeConfig parameterizes MergeWorkerStores.
+type MergeConfig struct {
+	// Weeks, Domains describe the study shape (as in Config).
+	Weeks, Domains int
+	// Partitions is the domain-hash partition count of the distributed
+	// run — the modulus every span's observations are validated against.
+	Partitions int
+	// DomainsPerPartition, when non-nil, enables the exact-count check:
+	// partition p must replay Σ_spans (ToWeek-FromWeek) × DomainsPerPartition[p]
+	// observations (every crawled (domain, week) yields exactly one
+	// observation, failures included).
+	DomainsPerPartition []int
+	// SkipPoC skips the version-validation experiment (Results.Findings
+	// stays nil; reports of runs that also skipped it stay comparable).
+	SkipPoC bool
+}
+
+// MergeWorkerStores replays every partition's generation spans —
+// week-filtered, partition-validated — into per-partition collector sets
+// and merges them into one Results, exactly as a sharded in-process run
+// would. Partitions replay concurrently (they are domain-disjoint by the
+// ShardOf invariant); within a partition, spans replay in ascending week
+// order so the stateful collectors see each domain's weeks in order.
+func MergeWorkerStores(spans []ReplaySpan, cfg MergeConfig) (*Results, error) {
+	if cfg.Partitions < 1 {
+		return nil, fmt.Errorf("core: merge: %d partitions", cfg.Partitions)
+	}
+	byPart := make([][]ReplaySpan, cfg.Partitions)
+	for _, sp := range spans {
+		if sp.Partition < 0 || sp.Partition >= cfg.Partitions {
+			return nil, fmt.Errorf("core: merge: span %s names partition %d of %d", sp.Path, sp.Partition, cfg.Partitions)
+		}
+		if sp.FromWeek < 0 || sp.ToWeek > cfg.Weeks || sp.FromWeek >= sp.ToWeek {
+			return nil, fmt.Errorf("core: merge: span %s has week range [%d,%d) of %d weeks",
+				sp.Path, sp.FromWeek, sp.ToWeek, cfg.Weeks)
+		}
+		byPart[sp.Partition] = append(byPart[sp.Partition], sp)
+	}
+	// Every partition must be covered [0, Weeks) by contiguous spans: a
+	// gap means a week nobody's commit was accepted for — merging would
+	// silently produce a short dataset.
+	for p, ps := range byPart {
+		sort.Slice(ps, func(i, j int) bool { return ps[i].FromWeek < ps[j].FromWeek })
+		next := 0
+		for _, sp := range ps {
+			if sp.FromWeek != next {
+				return nil, fmt.Errorf("core: merge: partition %d weeks [%d,%d) uncovered", p, next, sp.FromWeek)
+			}
+			next = sp.ToWeek
+		}
+		if next != cfg.Weeks {
+			return nil, fmt.Errorf("core: merge: partition %d weeks [%d,%d) uncovered", p, next, cfg.Weeks)
+		}
+	}
+
+	res := newResults(cfg.Weeks, cfg.Domains)
+	partRes := make([]*Results, cfg.Partitions)
+	errs := make([]error, cfg.Partitions)
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.Partitions; p++ {
+		partRes[p] = newResults(cfg.Weeks, cfg.Domains)
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = replayPartition(byPart[p], p, cfg, partRes[p].runner())
+		}(p)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	for _, pr := range partRes {
+		res.Merge(pr)
+	}
+	if !cfg.SkipPoC {
+		var err error
+		res.Findings, err = poclab.RunAll()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// replayPartition streams one partition's spans, in week order, into its
+// collector runner, enforcing the partition invariant and (when the
+// expected per-partition domain counts are known) the exact observation
+// count net of the week filter.
+func replayPartition(spans []ReplaySpan, p int, cfg MergeConfig, runner *analysis.Runner) error {
+	replayed := 0
+	for _, sp := range spans {
+		err := store.ForEachSegmented(sp.Path, func(obs store.Observation) error {
+			if obs.Week < sp.FromWeek || obs.Week >= sp.ToWeek {
+				// Outside the accepted span: a fenced commit's surplus.
+				return nil
+			}
+			if store.ShardOf(obs.Domain, cfg.Partitions) != p {
+				return fmt.Errorf("core: merge: %s: domain %q belongs to partition %d, store claims %d",
+					sp.Path, obs.Domain, store.ShardOf(obs.Domain, cfg.Partitions), p)
+			}
+			runner.Observe(obs)
+			replayed++
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if cfg.DomainsPerPartition != nil {
+		want := 0
+		for _, sp := range spans {
+			want += (sp.ToWeek - sp.FromWeek) * cfg.DomainsPerPartition[p]
+		}
+		if replayed != want {
+			return fmt.Errorf("core: merge: partition %d replayed %d observations, expected %d", p, replayed, want)
+		}
+	}
+	return nil
+}

@@ -32,6 +32,13 @@ type Config struct {
 	Workers int
 	// Timeout bounds one fetch including body read (default 10s).
 	Timeout time.Duration
+	// FetchTimeout, when positive, bounds one whole Fetch — every attempt,
+	// backoff sleep, and same-site script fetch of one (domain, week) —
+	// with a context deadline. Unlike Timeout (one HTTP exchange) it caps
+	// the worst case across retries, so a single hung host cannot stall a
+	// crawl slot longer than the deadline; the expired fetch surfaces as
+	// the usual Status-0 page, not a crawl failure.
+	FetchTimeout time.Duration
 	// Retries is the number of re-attempts after connection-level errors
 	// (default 1). HTTP error statuses are never retried — they are data.
 	// Pass NoRetries to request exactly one attempt: the config zero value
@@ -245,6 +252,11 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // Fetch retrieves one domain's landing page for a snapshot week, plus its
 // same-site scripts when Config.FetchScripts is set.
 func (c *Crawler) Fetch(ctx context.Context, week int, domain string) Page {
+	if c.cfg.FetchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.FetchTimeout)
+		defer cancel()
+	}
 	page := c.fetch(ctx, week, domain, c.cfg.BaseURL+webserver.PageURL(week, domain))
 	if c.cfg.FetchScripts && page.Err == nil && page.Status == http.StatusOK {
 		page.Scripts = c.fetchScripts(ctx, week, domain, page.Body)

@@ -30,13 +30,19 @@ type MetricsSnapshot struct {
 	Bytes                                      int64
 	// FetchP50 / FetchP99 are latency quantiles of successful fetches
 	// (request start through body read), resolved to power-of-two
-	// microsecond buckets.
+	// microsecond buckets. They are derived from Latency, never summed:
+	// Merge re-resolves them from the combined buckets.
 	FetchP50, FetchP99 time.Duration
+	// Latency carries the raw histogram buckets so snapshots from
+	// different workers merge exactly (bucket-wise addition) instead of
+	// averaging already-resolved quantiles.
+	Latency [metrics.NumBuckets]int64
 }
 
 // Snapshot returns the current counters. Concurrent updates may land
 // between field reads; each individual counter is exact.
 func (m *Metrics) Snapshot() MetricsSnapshot {
+	buckets := m.lat.Buckets()
 	return MetricsSnapshot{
 		Attempts:        m.attempts.Load(),
 		Retries:         m.retries.Load(),
@@ -46,7 +52,28 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		BreakerShed:     m.breakerShed.Load(),
 		BudgetExhausted: m.budgetExhausted.Load(),
 		Bytes:           m.bytes.Load(),
-		FetchP50:        m.lat.Quantile(0.50),
-		FetchP99:        m.lat.Quantile(0.99),
+		FetchP50:        metrics.QuantileOf(buckets, 0.50),
+		FetchP99:        metrics.QuantileOf(buckets, 0.99),
+		Latency:         buckets,
 	}
+}
+
+// Merge folds another snapshot into this one: counters sum, latency
+// histograms add bucket-wise, and the quantiles are re-resolved from the
+// combined buckets — so merging N per-worker snapshots equals the
+// snapshot one crawler would have produced doing all the work itself.
+func (s *MetricsSnapshot) Merge(o MetricsSnapshot) {
+	s.Attempts += o.Attempts
+	s.Retries += o.Retries
+	s.Successes += o.Successes
+	s.ConnFailures += o.ConnFailures
+	s.BreakerTrips += o.BreakerTrips
+	s.BreakerShed += o.BreakerShed
+	s.BudgetExhausted += o.BudgetExhausted
+	s.Bytes += o.Bytes
+	for i := range s.Latency {
+		s.Latency[i] += o.Latency[i]
+	}
+	s.FetchP50 = metrics.QuantileOf(s.Latency, 0.50)
+	s.FetchP99 = metrics.QuantileOf(s.Latency, 0.99)
 }

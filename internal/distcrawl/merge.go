@@ -1,0 +1,93 @@
+package distcrawl
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"clientres/internal/core"
+	"clientres/internal/store"
+	"clientres/internal/webgen"
+)
+
+// MergeOptions parameterizes Merge.
+type MergeOptions struct {
+	// SkipPoC skips the version-validation experiment in the merged
+	// Results (tests; reports stay comparable to serial runs that also
+	// skipped it).
+	SkipPoC bool
+}
+
+// Merge turns a completed (or partially crawled) distributed run into one
+// Results: every accepted span's generation is sealed if its worker
+// never closed it — ResumeSegmented truncates the torn tail back to the
+// last store commit and an immediate Close writes the manifest of
+// exactly the committed prefix — then all spans replay through
+// core.MergeWorkerStores with their coordinator-accepted week ranges.
+// The per-partition expected observation counts are recomputed from the
+// spec's seed, so a short or padded generation fails the merge loudly.
+func Merge(spec RunSpec, spans []Span, opt MergeOptions) (*core.Results, error) {
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("distcrawl: merge of zero spans")
+	}
+	replay := make([]core.ReplaySpan, 0, len(spans))
+	for _, sp := range spans {
+		dir := GenDir(spec.Dir, sp.Partition, sp.Epoch)
+		if err := sealGeneration(dir); err != nil {
+			return nil, err
+		}
+		replay = append(replay, core.ReplaySpan{
+			Path: dir, Partition: sp.Partition,
+			FromWeek: sp.FromWeek, ToWeek: sp.ToWeek,
+		})
+	}
+	// The expected per-partition domain counts come from the same
+	// deterministic population every worker crawled.
+	eco := webgen.New(webgen.Config{Domains: spec.Domains, Weeks: spec.Weeks, Seed: spec.Seed, Bundling: spec.Bundling})
+	perPart := make([]int, spec.Partitions)
+	for i := range eco.Sites {
+		perPart[store.ShardOf(eco.Sites[i].Domain.Name, spec.Partitions)]++
+	}
+	return core.MergeWorkerStores(replay, core.MergeConfig{
+		Weeks: spec.Weeks, Domains: spec.Domains, Partitions: spec.Partitions,
+		DomainsPerPartition: perPart, SkipPoC: opt.SkipPoC,
+	})
+}
+
+// sealGeneration makes an unsealed generation directory readable: a
+// worker that crashed (or was fenced) left fsynced segments plus a
+// checkpoint but no manifest. Resuming at the checkpoint's own identity
+// amputates any torn tail past the last commit, and closing immediately
+// writes a manifest covering exactly the committed prefix. A generation
+// its worker closed cleanly already has a manifest and is left alone.
+func sealGeneration(dir string) error {
+	if store.IsSegmented(dir) {
+		return nil
+	}
+	if _, err := os.Stat(dir); err != nil {
+		return fmt.Errorf("distcrawl: generation %s missing: %w", dir, err)
+	}
+	ck, err := store.ReadCheckpoint(dir)
+	if err != nil {
+		return fmt.Errorf("distcrawl: sealing %s: %w", dir, err)
+	}
+	w, _, err := store.ResumeSegmented(dir, store.SegmentedOptions{Run: ck.Run})
+	if err != nil {
+		return fmt.Errorf("distcrawl: sealing %s: %w", dir, err)
+	}
+	if err := w.Close(); err != nil {
+		return fmt.Errorf("distcrawl: sealing %s: %w", dir, err)
+	}
+	return nil
+}
+
+// SortSpans orders spans partition-major, week-minor — the deterministic
+// order state files and tests present them in.
+func SortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Partition != spans[j].Partition {
+			return spans[i].Partition < spans[j].Partition
+		}
+		return spans[i].FromWeek < spans[j].FromWeek
+	})
+}

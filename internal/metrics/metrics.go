@@ -83,9 +83,18 @@ func BucketUpperBound(i int) time.Duration {
 // Quantile returns the upper bound of the bucket where the q-quantile
 // falls, or 0 when the histogram is empty.
 func (h *Histogram) Quantile(q float64) time.Duration {
+	return QuantileOf(h.Buckets(), q)
+}
+
+// QuantileOf resolves a quantile over a detached bucket-count array (the
+// shape Buckets returns), or 0 when the counts are empty. It exists so
+// snapshots that carry their buckets across process boundaries — merged
+// per-worker crawl metrics — resolve quantiles identically to a live
+// histogram.
+func QuantileOf(buckets [NumBuckets]int64, q float64) time.Duration {
 	var total int64
-	for i := range h.buckets {
-		total += h.buckets[i].Load()
+	for i := range buckets {
+		total += buckets[i]
 	}
 	if total == 0 {
 		return 0
@@ -95,8 +104,8 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		rank = total - 1
 	}
 	var seen int64
-	for i := range h.buckets {
-		seen += h.buckets[i].Load()
+	for i := range buckets {
+		seen += buckets[i]
 		if seen > rank {
 			return BucketUpperBound(i)
 		}

@@ -1,0 +1,130 @@
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+// fenceRun is the study identity the fencing tests share; only Epoch
+// varies between contenders.
+func fenceRun(epoch int64) RunID {
+	return RunID{Seed: 7, Domains: 4, Weeks: 3, Mode: 1, Partition: 2, Epoch: epoch}
+}
+
+// fenceCommit writes week `week` for every domain and commits it.
+func fenceCommit(t *testing.T, w *SegmentedWriter, week int) error {
+	t.Helper()
+	for d := 0; d < 4; d++ {
+		obs := Observation{Domain: "site" + itoa(d) + ".example", Rank: d + 1, Week: week, Status: 200, Bytes: 500}
+		if err := w.Write(obs); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	return w.CommitWeek(week)
+}
+
+// A takeover resume with a higher epoch must re-stamp the on-disk
+// checkpoint before writing anything — the fence is planted even if the
+// new owner then crashes without committing a week.
+func TestResumeTakeoverPlantsBumpedEpoch(t *testing.T) {
+	dir := t.TempDir()
+	w, err := CreateSegmentedWith(dir, 2, SegmentedOptions{Checkpoint: true, Run: fenceRun(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fenceCommit(t, w, 0); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	_ = w.Abort() // simulate the epoch-1 worker dying mid-run
+
+	w2, ck, err := ResumeSegmented(dir, SegmentedOptions{Run: fenceRun(3)})
+	if err != nil {
+		t.Fatalf("takeover resume: %v", err)
+	}
+	if ck.CommittedWeeks != 1 {
+		t.Fatalf("takeover sees %d committed weeks, want 1", ck.CommittedWeeks)
+	}
+	// The fence must be durable before any new write.
+	onDisk, err := ReadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.Run.Epoch != 3 {
+		t.Fatalf("on-disk epoch %d after takeover, want 3", onDisk.Run.Epoch)
+	}
+	if !onDisk.Run.SameStudy(fenceRun(1)) {
+		t.Fatalf("takeover changed the study identity: %+v", onDisk.Run)
+	}
+	if err := fenceCommit(t, w2, 1); err != nil {
+		t.Fatalf("commit after takeover: %v", err)
+	}
+	_ = w2.Abort()
+}
+
+// A resume whose epoch is older than the on-disk fence must be refused
+// with ErrFenced; a resume for a different study must be refused outright.
+func TestResumeRefusesStaleEpochAndForeignStudy(t *testing.T) {
+	dir := t.TempDir()
+	w, err := CreateSegmentedWith(dir, 2, SegmentedOptions{Checkpoint: true, Run: fenceRun(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fenceCommit(t, w, 0); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	_ = w.Abort()
+
+	if _, _, err := ResumeSegmented(dir, SegmentedOptions{Run: fenceRun(4)}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale-epoch resume: got %v, want ErrFenced", err)
+	}
+	foreign := fenceRun(9)
+	foreign.Seed = 8
+	if _, _, err := ResumeSegmented(dir, SegmentedOptions{Run: foreign}); err == nil || errors.Is(err, ErrFenced) {
+		t.Fatalf("foreign-study resume: got %v, want a non-fence refusal", err)
+	}
+	// Equal epoch is the crash-restart of the same lease holder: allowed.
+	w2, _, err := ResumeSegmented(dir, SegmentedOptions{Run: fenceRun(5)})
+	if err != nil {
+		t.Fatalf("same-epoch resume: %v", err)
+	}
+	_ = w2.Abort()
+}
+
+// The zombie scenario at the store layer: a writer that held the lease at
+// epoch 1 keeps running after a takeover re-stamps the checkpoint to
+// epoch 2. Its next CommitWeek must fail with ErrFenced and must leave
+// the on-disk journal at the successor's epoch.
+func TestCommitWeekFencedByNewerEpoch(t *testing.T) {
+	dir := t.TempDir()
+	zombie, err := CreateSegmentedWith(dir, 2, SegmentedOptions{Checkpoint: true, Run: fenceRun(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fenceCommit(t, zombie, 0); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+
+	// Successor plants the fence (what a takeover resume does) while the
+	// zombie still holds its open writer.
+	ck, err := ReadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Run.Epoch = 2
+	if err := writeCheckpoint(realFS(nil), dir, ck); err != nil {
+		t.Fatal(err)
+	}
+
+	err = fenceCommit(t, zombie, 1)
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("zombie commit: got %v, want ErrFenced", err)
+	}
+	after, err := ReadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Run.Epoch != 2 || after.CommittedWeeks != 1 {
+		t.Fatalf("fenced commit disturbed the journal: epoch %d, weeks %d", after.Run.Epoch, after.CommittedWeeks)
+	}
+	_ = zombie.Abort()
+}

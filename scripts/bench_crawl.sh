@@ -1,7 +1,8 @@
 #!/bin/sh
 # Crawl-path perf ablation: runs BenchmarkCrawlWeek (plain vs polite) and
-# appends one JSON line per result — including fetch-latency quantiles and
-# page throughput — to BENCH_crawl.json, so crawler PRs accumulate a
+# BenchmarkDistCrawl (coordinator + 1/2/4 workers, whole-run throughput)
+# and appends one JSON line per result — including fetch-latency quantiles
+# and page throughput — to BENCH_crawl.json, so crawler PRs accumulate a
 # machine-readable before/after record. Override the measurement budget
 # with BENCHTIME (default 1x, the smoke setting).
 set -eu
@@ -11,7 +12,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_crawl.json}"
 
-raw=$(go test -run '^$' -bench 'BenchmarkCrawlWeek' \
+raw=$(go test -run '^$' -bench 'BenchmarkCrawlWeek|BenchmarkDistCrawl' \
 	-benchmem -benchtime "$BENCHTIME" .)
 printf '%s\n' "$raw"
 

@@ -195,6 +195,74 @@ if "$tmp/fsck" -store "$tmp/ref.bundle" >/dev/null 2>&1; then
 	echo "fsck verified a bit-flipped bundle as intact"; exit 1
 fi
 
+# Distributed-crawl smoke: a coordinator and three workers crawl the
+# study under partitioned leases; one worker is SIGKILLed after its first
+# committed week. The coordinator must expire the dead worker's lease,
+# reassign its partition at the last accepted week, and the merged report
+# must be byte-identical to a serial crawl of the same configuration —
+# the end-to-end version of the distcrawl byte-identity tests: real
+# processes, a real SIGKILL, a real lease expiry and reassignment.
+echo "==> distributed crawl smoke (coordinator + 3 workers, SIGKILL one, reassign, merge, diff vs serial)"
+go build -o "$tmp/coordinator" ./cmd/coordinator
+go build -o "$tmp/worker" ./cmd/worker
+DIST_ARGS="-domains 100 -weeks 8 -seed 5"
+
+# Serial reference through the ordinary pipeline.
+"$tmp/crawl" $DIST_ARGS -workers 16 -out "$tmp/dist-ref.store" 2>/dev/null >/dev/null
+"$tmp/analyze" -in "$tmp/dist-ref.store" -weeks 8 -domains 100 >"$tmp/dist-ref.report"
+
+"$tmp/coordinator" -addr 127.0.0.1:0 $DIST_ARGS -partitions 3 -lease-ttl 2s \
+	-dir "$tmp/dist" -out "$tmp/dist.report" 2>"$tmp/coord.log" &
+coord_pid=$!
+caddr=""
+for _ in $(seq 1 100); do
+	caddr=$(sed -n 's/.* on //p' "$tmp/coord.log" | head -n 1)
+	[ -n "$caddr" ] && break
+	sleep 0.1
+done
+[ -n "$caddr" ] || { echo "coordinator never came up"; cat "$tmp/coord.log"; exit 1; }
+
+# Two healthy workers and one deliberately slow victim (fewer crawler
+# workers, so the SIGKILL lands before it finishes its partition).
+"$tmp/worker" -coordinator "http://$caddr" -id healthy-1 -workers 16 2>/dev/null &
+w1_pid=$!
+"$tmp/worker" -coordinator "http://$caddr" -id healthy-2 -workers 16 2>/dev/null &
+w2_pid=$!
+"$tmp/worker" -coordinator "http://$caddr" -id victim -workers 2 2>"$tmp/victim.log" &
+victim_pid=$!
+
+killed=""
+for _ in $(seq 1 600); do
+	if ! kill -0 "$victim_pid" 2>/dev/null; then
+		break # finished before we could kill it
+	fi
+	n=$(grep -c 'committed' "$tmp/victim.log" 2>/dev/null) || n=0
+	if [ "${n:-0}" -ge 1 ]; then
+		kill -KILL "$victim_pid"
+		killed=yes
+		break
+	fi
+	sleep 0.02
+done
+wait "$victim_pid" 2>/dev/null || true
+[ -n "$killed" ] || { echo "victim finished before SIGKILL could land; smoke inconclusive"; exit 1; }
+
+# The coordinator exits after the last partition commits and the merge
+# lands; the surviving workers then see Done and exit on their own.
+wait "$coord_pid" || { echo "coordinator failed"; cat "$tmp/coord.log"; exit 1; }
+wait "$w1_pid" 2>/dev/null || true
+wait "$w2_pid" 2>/dev/null || true
+
+grep -q 'lease expired' "$tmp/coord.log" || {
+	echo "coordinator never expired the killed worker's lease"; exit 1; }
+grep -c 'lease granted' "$tmp/coord.log" | {
+	read grants
+	[ "$grants" -gt 3 ] || {
+		echo "no reassignment after the SIGKILL (only $grants grants)"; exit 1; }
+}
+cmp "$tmp/dist-ref.report" "$tmp/dist.report" || {
+	echo "distributed merged report differs from the serial reference"; exit 1; }
+
 # Cross-version smoke: the same synthetic population written as a v1
 # single-file archive and as a v3 delta segmented store must verify under
 # fsck (which must report the delta format) and replay to byte-identical
